@@ -1,0 +1,335 @@
+//! Exact minimum-SWAP routing for tiny instances.
+//!
+//! The qubit mapping problem is NP-complete (paper §I), but tiny instances
+//! can be solved exactly by breadth-first search over
+//! `(mapping, executed-gate-set)` states — the same idea as Siraichi et
+//! al.'s dynamic program, which "requires exponential time and space …
+//! and can only work for circuits with 8 or fewer qubits" (§VII). This
+//! module provides that ground truth so tests and benchmarks can measure
+//! how far heuristics sit from the true optimum:
+//!
+//! - [`min_swaps_from`] — optimum for a fixed initial mapping;
+//! - [`min_swaps_global`] — optimum over **all** initial mappings, i.e.
+//!   the best any router (SABRE included) could possibly achieve.
+//!
+//! States are pruned by a seen-set; the state space is
+//! `N! / (N-n)! × 2^{g₂}`, so callers must keep devices at ≤ 8 physical
+//! qubits and circuits at ≤ 20 two-qubit gates (enforced).
+
+use std::collections::{HashMap, VecDeque};
+
+use sabre::Layout;
+use sabre_circuit::{Circuit, Qubit};
+use sabre_topology::CouplingGraph;
+
+/// Hard caps keeping the exact search tractable.
+const MAX_PHYSICAL_QUBITS: u32 = 8;
+const MAX_TWO_QUBIT_GATES: usize = 20;
+
+/// The two-qubit skeleton of a circuit: endpoint pairs plus, for each
+/// gate, the indices of the earlier gates it depends on.
+struct Skeleton {
+    pairs: Vec<(Qubit, Qubit)>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Skeleton {
+    fn of(circuit: &Circuit) -> Skeleton {
+        let pairs = circuit.two_qubit_pairs();
+        let mut last_on_wire: HashMap<Qubit, usize> = HashMap::new();
+        let mut preds = vec![Vec::new(); pairs.len()];
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            for q in [a, b] {
+                if let Some(&p) = last_on_wire.get(&q) {
+                    if !preds[idx].contains(&p) {
+                        preds[idx].push(p);
+                    }
+                }
+                last_on_wire.insert(q, idx);
+            }
+        }
+        Skeleton { pairs, preds }
+    }
+
+    /// Gates ready under `mask` (all predecessors executed, itself not).
+    fn ready(&self, mask: u64) -> impl Iterator<Item = usize> + '_ {
+        (0..self.pairs.len()).filter(move |&i| {
+            mask & (1 << i) == 0 && self.preds[i].iter().all(|&p| mask & (1 << p) != 0)
+        })
+    }
+}
+
+/// Executes every ready-and-adjacent gate until a fixed point; executing
+/// an executable gate is never harmful, so all optimal solutions pass
+/// through closed states.
+fn closure(skeleton: &Skeleton, graph: &CouplingGraph, layout: &Layout, mut mask: u64) -> u64 {
+    loop {
+        let mut progressed = false;
+        let ready: Vec<usize> = skeleton.ready(mask).collect();
+        for idx in ready {
+            let (a, b) = skeleton.pairs[idx];
+            if graph.are_coupled(layout.phys_of(a), layout.phys_of(b)) {
+                mask |= 1 << idx;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return mask;
+        }
+    }
+}
+
+fn encode(layout: &Layout) -> Vec<u8> {
+    layout
+        .logical_to_physical()
+        .iter()
+        .map(|q| q.0 as u8)
+        .collect()
+}
+
+fn validate(circuit: &Circuit, graph: &CouplingGraph) -> usize {
+    assert!(
+        graph.num_qubits() <= MAX_PHYSICAL_QUBITS,
+        "exact search is limited to {MAX_PHYSICAL_QUBITS} physical qubits"
+    );
+    assert!(
+        circuit.num_qubits() <= graph.num_qubits(),
+        "circuit does not fit on the device"
+    );
+    assert!(graph.is_connected(), "device must be connected");
+    let g2 = circuit.num_two_qubit_gates();
+    assert!(
+        g2 <= MAX_TWO_QUBIT_GATES,
+        "exact search is limited to {MAX_TWO_QUBIT_GATES} two-qubit gates"
+    );
+    g2
+}
+
+/// Minimum number of SWAPs to route `circuit` on `graph` starting from
+/// `initial`. `None` if `state_cap` states were visited without finishing
+/// (raise the cap for harder instances).
+///
+/// # Panics
+///
+/// Panics if the instance exceeds the size caps, the device is
+/// disconnected, or the circuit does not fit.
+pub fn min_swaps_from(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial: &Layout,
+    state_cap: usize,
+) -> Option<usize> {
+    search(circuit, graph, std::iter::once(initial.clone()), state_cap)
+}
+
+/// Minimum number of SWAPs over **all** initial mappings — the true
+/// optimum of the qubit mapping problem for this instance. Runs a
+/// multi-source BFS seeded with every placement of the circuit's qubits.
+///
+/// # Panics
+///
+/// Same conditions as [`min_swaps_from`].
+pub fn min_swaps_global(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    state_cap: usize,
+) -> Option<usize> {
+    let n = graph.num_qubits();
+    let layouts = all_layouts(n);
+    search(circuit, graph, layouts.into_iter(), state_cap)
+}
+
+fn all_layouts(n: u32) -> Vec<Layout> {
+    let mut perms: Vec<Vec<Qubit>> = vec![Vec::new()];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for perm in &perms {
+            for q in 0..n {
+                let q = Qubit(q);
+                if !perm.contains(&q) {
+                    let mut p = perm.clone();
+                    p.push(q);
+                    next.push(p);
+                }
+            }
+        }
+        perms = next;
+    }
+    perms
+        .into_iter()
+        .map(|p| Layout::from_logical_to_physical(p).expect("permutation"))
+        .collect()
+}
+
+fn search(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    sources: impl Iterator<Item = Layout>,
+    state_cap: usize,
+) -> Option<usize> {
+    let g2 = validate(circuit, graph);
+    let skeleton = Skeleton::of(circuit);
+    let done_mask: u64 = if g2 == 64 { u64::MAX } else { (1u64 << g2) - 1 };
+
+    let mut queue: VecDeque<(Layout, u64, usize)> = VecDeque::new();
+    let mut seen: HashMap<(Vec<u8>, u64), usize> = HashMap::new();
+    for layout in sources {
+        let mask = closure(&skeleton, graph, &layout, 0);
+        if mask == done_mask {
+            return Some(0);
+        }
+        let key = (encode(&layout), mask);
+        if !seen.contains_key(&key) {
+            seen.insert(key, 0);
+            queue.push_back((layout, mask, 0));
+        }
+    }
+
+    while let Some((layout, mask, cost)) = queue.pop_front() {
+        if seen.len() > state_cap {
+            return None;
+        }
+        for &(a, b) in graph.edges() {
+            let mut next_layout = layout.clone();
+            next_layout.swap_physical(a, b);
+            let next_mask = closure(&skeleton, graph, &next_layout, mask);
+            if next_mask == done_mask {
+                return Some(cost + 1);
+            }
+            let key = (encode(&next_layout), next_mask);
+            if !seen.contains_key(&key) {
+                seen.insert(key, cost + 1);
+                queue.push_back((next_layout, next_mask, cost + 1));
+            }
+        }
+    }
+    // Connected device ⇒ every gate can eventually execute; exhausting the
+    // queue without finishing means the cap logic above returned `None`
+    // first, so this is unreachable in practice but kept total.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_topology::devices;
+
+    const CAP: usize = 2_000_000;
+
+    #[test]
+    fn compliant_circuit_needs_zero() {
+        let g = devices::linear(4);
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(3));
+        assert_eq!(
+            min_swaps_from(&c, g.graph(), &Layout::identity(4), CAP),
+            Some(0)
+        );
+        assert_eq!(min_swaps_global(&c, g.graph(), CAP), Some(0));
+    }
+
+    #[test]
+    fn single_distant_gate_from_identity() {
+        let g = devices::linear(5);
+        let mut c = Circuit::new(5);
+        c.cx(Qubit(0), Qubit(4));
+        // Distance 4 ⇒ 3 swaps from identity, but 0 with free placement.
+        assert_eq!(
+            min_swaps_from(&c, g.graph(), &Layout::identity(5), CAP),
+            Some(3)
+        );
+        assert_eq!(min_swaps_global(&c, g.graph(), CAP), Some(0));
+    }
+
+    #[test]
+    fn figure3_instance_is_one_swap_from_identity() {
+        // The paper's Figure 3 walkthrough inserts exactly one SWAP from
+        // the identity mapping; the exact search confirms 1 is optimal.
+        let g = CouplingGraph::from_edges(4, [(0, 1), (1, 3), (3, 2), (2, 0)]).unwrap();
+        let (q1, q2, q3, q4) = (Qubit(0), Qubit(1), Qubit(2), Qubit(3));
+        let mut c = Circuit::new(4);
+        c.cx(q1, q2);
+        c.cx(q3, q4);
+        c.cx(q2, q4);
+        c.cx(q2, q3);
+        c.cx(q3, q4);
+        c.cx(q1, q4);
+        assert_eq!(
+            min_swaps_from(&c, &g, &Layout::identity(4), CAP),
+            Some(1),
+            "paper §III-A: one SWAP suffices and is necessary"
+        );
+        // With placement freedom the square still cannot satisfy all six
+        // CNOTs at once (the interaction graph contains a K4... actually
+        // pairs {q1q2,q3q4,q2q4,q2q3,q3q4,q1q4}: q2,q3,q4 form a triangle;
+        // a 4-cycle has no triangle, so at least one SWAP stays needed).
+        assert_eq!(min_swaps_global(&c, &g, CAP), Some(1));
+    }
+
+    #[test]
+    fn triangle_on_a_line_needs_one_swap() {
+        // CX(0,1), CX(1,2), CX(0,2) on a 3-line: the interaction triangle
+        // cannot embed in a path, one swap is optimal somewhere.
+        let g = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(0), Qubit(2));
+        assert_eq!(min_swaps_global(&c, g.graph(), CAP), Some(1));
+    }
+
+    #[test]
+    fn dependency_order_is_respected() {
+        // Without dependencies, placement could satisfy both gates; the
+        // shared wire forces sequencing but placement can still be smart.
+        let g = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(0), Qubit(2));
+        // Put q0 in the middle: both gates executable, zero swaps.
+        assert_eq!(min_swaps_global(&c, g.graph(), CAP), Some(0));
+    }
+
+    #[test]
+    fn repeated_far_interactions_cost_more() {
+        // Alternating far pairs on a line force repeated movement.
+        let g = devices::linear(4);
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(3));
+        c.cx(Qubit(0), Qubit(3));
+        c.cx(Qubit(1), Qubit(2));
+        let optimal = min_swaps_global(&c, g.graph(), CAP).unwrap();
+        assert!(optimal >= 1, "crossing interactions need at least one swap");
+        assert!(optimal <= 2);
+    }
+
+    #[test]
+    fn empty_circuit_is_free() {
+        let g = devices::linear(3);
+        let c = Circuit::new(3);
+        assert_eq!(min_swaps_global(&c, g.graph(), CAP), Some(0));
+    }
+
+    #[test]
+    fn state_cap_returns_none() {
+        // Crossing interactions: no zero-swap placement exists, so the
+        // search must expand beyond its sources — and trips the tiny cap.
+        let g = devices::linear(4);
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(3));
+        c.cx(Qubit(0), Qubit(3));
+        c.cx(Qubit(1), Qubit(2));
+        assert_eq!(min_swaps_global(&c, g.graph(), 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 8 physical")]
+    fn oversized_device_panics() {
+        let g = devices::linear(9);
+        let c = Circuit::new(3);
+        let _ = min_swaps_global(&c, g.graph(), CAP);
+    }
+}

@@ -1,0 +1,191 @@
+//! Siraichi-et-al.-flavoured greedy baseline (paper §VII).
+//!
+//! "Their initial mapping solution counted the number of two-qubit gates
+//! between each pair of logical qubits and tried to find a matched edge on
+//! the physical chip … For the qubit movement, they only resolved one
+//! two-qubit gate each time … greedily without considering the effects of
+//! these local decisions." This module reproduces that shape:
+//!
+//! - **Placement**: logical qubits sorted by weighted interaction degree;
+//!   each is placed next to its most-interacting already-placed partner,
+//!   on the free physical neighbor of highest degree.
+//! - **Routing**: gate-at-a-time; a blocked gate is resolved by walking one
+//!   endpoint along a shortest physical path until adjacent.
+
+use sabre::{Layout, RoutedCircuit};
+use sabre_circuit::interaction::InteractionGraph;
+use sabre_circuit::{Circuit, Qubit};
+use sabre_topology::CouplingGraph;
+
+use crate::trivial::route_with_layout;
+
+/// Routes `circuit` with greedy placement + shortest-path movement.
+///
+/// # Panics
+///
+/// Panics if the device is disconnected or smaller than the circuit (the
+/// baselines are test/benchmark comparators; the production entry point
+/// with proper error handling is `sabre::SabreRouter`).
+pub fn route(circuit: &Circuit, graph: &CouplingGraph) -> RoutedCircuit {
+    assert!(
+        circuit.num_qubits() <= graph.num_qubits(),
+        "circuit does not fit on the device"
+    );
+    assert!(graph.is_connected(), "device must be connected");
+    let layout = initial_placement(circuit, graph);
+    route_with_layout(circuit, graph, layout)
+}
+
+/// Weighted-degree greedy placement.
+pub fn initial_placement(circuit: &Circuit, graph: &CouplingGraph) -> Layout {
+    let n_phys = graph.num_qubits();
+    let ig = InteractionGraph::of(circuit);
+
+    // Logical qubits, most-interacting first.
+    let mut logicals: Vec<Qubit> = (0..circuit.num_qubits()).map(Qubit).collect();
+    logicals.sort_by_key(|&q| std::cmp::Reverse(ig.weighted_degree(q)));
+
+    let mut log_to_phys: Vec<Option<Qubit>> = vec![None; n_phys as usize];
+    let mut used = vec![false; n_phys as usize];
+
+    for &logical in &logicals {
+        // Find the placed partner with the strongest interaction.
+        let partner_phys = (0..circuit.num_qubits())
+            .map(Qubit)
+            .filter(|&other| other != logical && ig.weight(logical, other) > 0)
+            .filter_map(|other| log_to_phys[other.index()].map(|p| (other, p)))
+            .max_by_key(|&(other, _)| ig.weight(logical, other))
+            .map(|(_, p)| p);
+
+        let slot = match partner_phys {
+            Some(p) => {
+                // Free neighbor of the partner with the highest degree,
+                // else the free qubit closest to the partner.
+                graph
+                    .neighbors(p)
+                    .iter()
+                    .copied()
+                    .filter(|nb| !used[nb.index()])
+                    .max_by_key(|&nb| graph.degree(nb))
+                    .or_else(|| nearest_free(graph, p, &used))
+            }
+            None => {
+                // No placed partner: take the free qubit of highest degree.
+                (0..n_phys)
+                    .map(Qubit)
+                    .filter(|q| !used[q.index()])
+                    .max_by_key(|&q| graph.degree(q))
+            }
+        }
+        .expect("device has enough qubits");
+        log_to_phys[logical.index()] = Some(slot);
+        used[slot.index()] = true;
+    }
+
+    // Virtual logical qubits fill the remaining slots.
+    let mut free = (0..n_phys).map(Qubit).filter(|p| !used[p.index()]);
+    let mapping: Vec<Qubit> = log_to_phys
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| free.next().expect("bijection fills up")))
+        .collect();
+    Layout::from_logical_to_physical(mapping).expect("constructed bijection")
+}
+
+fn nearest_free(graph: &CouplingGraph, from: Qubit, used: &[bool]) -> Option<Qubit> {
+    let dist = graph.bfs_distances(from);
+    (0..graph.num_qubits())
+        .map(Qubit)
+        .filter(|q| !used[q.index()] && dist[q.index()] != u32::MAX)
+        .min_by_key(|q| dist[q.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_topology::devices;
+
+    #[test]
+    fn placement_groups_interacting_qubits() {
+        let device = devices::ibm_q20_tokyo();
+        let mut c = Circuit::new(4);
+        for _ in 0..5 {
+            c.cx(Qubit(0), Qubit(1));
+            c.cx(Qubit(2), Qubit(3));
+        }
+        let layout = initial_placement(&c, device.graph());
+        assert!(device
+            .graph()
+            .are_coupled(layout.phys_of(Qubit(0)), layout.phys_of(Qubit(1))));
+        assert!(device
+            .graph()
+            .are_coupled(layout.phys_of(Qubit(2)), layout.phys_of(Qubit(3))));
+    }
+
+    #[test]
+    fn heavily_interacting_pair_lands_adjacent() {
+        let device = devices::linear(6);
+        let mut c = Circuit::new(4);
+        for _ in 0..10 {
+            c.cx(Qubit(1), Qubit(3));
+        }
+        c.cx(Qubit(0), Qubit(2));
+        let layout = initial_placement(&c, device.graph());
+        assert!(device
+            .graph()
+            .are_coupled(layout.phys_of(Qubit(1)), layout.phys_of(Qubit(3))));
+    }
+
+    #[test]
+    fn routed_output_is_compliant() {
+        let device = devices::ibm_q20_tokyo();
+        let mut c = Circuit::new(10);
+        for r in 0..50u32 {
+            let a = (r * 3 + 2) % 10;
+            let b = (r * 7 + 5) % 10;
+            if a != b {
+                c.cx(Qubit(a), Qubit(b));
+            }
+        }
+        let routed = route(&c, device.graph());
+        for gate in routed.physical.gates() {
+            if let (a, Some(b)) = gate.qubits() {
+                assert!(device.graph().are_coupled(a, b));
+            }
+        }
+        assert_eq!(
+            routed.physical.num_gates(),
+            c.num_gates() + routed.num_swaps
+        );
+    }
+
+    #[test]
+    fn zero_swaps_when_placement_suffices() {
+        let device = devices::linear(4);
+        let mut c = Circuit::new(2);
+        for _ in 0..4 {
+            c.cx(Qubit(0), Qubit(1));
+        }
+        let routed = route(&c, device.graph());
+        assert_eq!(routed.num_swaps, 0);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let device = devices::ibm_q20_tokyo();
+        let mut c = Circuit::new(6);
+        c.cx(Qubit(0), Qubit(5));
+        c.cx(Qubit(1), Qubit(4));
+        assert_eq!(
+            initial_placement(&c, device.graph()),
+            initial_placement(&c, device.graph())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_circuit_panics() {
+        let device = devices::linear(2);
+        let c = Circuit::new(5);
+        let _ = route(&c, device.graph());
+    }
+}

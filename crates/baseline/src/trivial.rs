@@ -1,0 +1,173 @@
+//! The floor baseline: identity placement + shortest-path routing.
+//!
+//! Also hosts [`route_with_layout`], the gate-at-a-time shortest-path
+//! routing engine shared with the [`crate::greedy`] baseline.
+
+use sabre::{Layout, RoutedCircuit};
+use sabre_circuit::{Circuit, DependencyDag, ExecutionFrontier};
+use sabre_topology::CouplingGraph;
+
+/// Routes with the identity initial mapping and per-gate shortest-path
+/// SWAP chains — no placement intelligence, no look-ahead. Any serious
+/// mapper must beat this.
+///
+/// # Panics
+///
+/// Panics if the device is disconnected or smaller than the circuit.
+pub fn route(circuit: &Circuit, graph: &CouplingGraph) -> RoutedCircuit {
+    assert!(
+        circuit.num_qubits() <= graph.num_qubits(),
+        "circuit does not fit on the device"
+    );
+    assert!(graph.is_connected(), "device must be connected");
+    route_with_layout(circuit, graph, Layout::identity(graph.num_qubits()))
+}
+
+/// Gate-at-a-time routing from a given initial placement: execute every
+/// ready gate whose endpoints are coupled; otherwise resolve the oldest
+/// blocked gate by swapping one endpoint along a shortest path until
+/// adjacent ("they only resolved one two-qubit gate each time", §VII).
+///
+/// # Panics
+///
+/// Panics if `initial_layout` does not cover the device.
+pub fn route_with_layout(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: Layout,
+) -> RoutedCircuit {
+    let n_phys = graph.num_qubits();
+    assert_eq!(initial_layout.len(), n_phys as usize, "layout size");
+    let dag = DependencyDag::new(circuit);
+    let mut frontier = ExecutionFrontier::new(&dag);
+    let mut layout = initial_layout.clone();
+    let mut out = Circuit::with_name(n_phys, circuit.name());
+    let mut num_swaps = 0usize;
+    let mut search_steps = 0usize;
+
+    while !frontier.is_complete() {
+        // Execute everything executable.
+        let mut executed_any = true;
+        while executed_any {
+            executed_any = false;
+            for idx in frontier.ready().to_vec() {
+                let gate = &circuit.gates()[idx];
+                let executable = match gate.qubits() {
+                    (_, None) => true,
+                    (a, Some(b)) => {
+                        graph.are_coupled(layout.phys_of(a), layout.phys_of(b))
+                    }
+                };
+                if executable {
+                    out.push(gate.map_qubits(|l| layout.phys_of(l)));
+                    frontier.mark_executed(&dag, idx);
+                    executed_any = true;
+                }
+            }
+        }
+        if frontier.is_complete() {
+            break;
+        }
+        // Resolve the oldest blocked two-qubit gate by brute movement.
+        let &blocked = frontier
+            .ready()
+            .iter()
+            .filter(|&&i| circuit.gates()[i].is_two_qubit())
+            .min()
+            .expect("stalled frontier holds a two-qubit gate");
+        let (a, b) = circuit.gates()[blocked].qubits();
+        let b = b.expect("two-qubit gate");
+        let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
+        let path = graph
+            .shortest_path(pa, pb)
+            .expect("connected device");
+        for window in path.windows(2).take(path.len().saturating_sub(2)) {
+            out.swap(window[0], window[1]);
+            layout.swap_physical(window[0], window[1]);
+            num_swaps += 1;
+        }
+        search_steps += 1;
+    }
+
+    RoutedCircuit {
+        physical: out,
+        initial_layout,
+        final_layout: layout,
+        num_swaps,
+        search_steps,
+        forced_routings: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::Qubit;
+    use sabre_topology::devices;
+
+    #[test]
+    fn executable_gates_pass_through() {
+        let device = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(2));
+        let r = route(&c, device.graph());
+        assert_eq!(r.num_swaps, 0);
+        assert_eq!(r.physical.num_gates(), 2);
+    }
+
+    #[test]
+    fn distant_gate_costs_distance_minus_one_swaps() {
+        let device = devices::linear(5);
+        let mut c = Circuit::new(5);
+        c.cx(Qubit(0), Qubit(4));
+        let r = route(&c, device.graph());
+        assert_eq!(r.num_swaps, 3);
+        for gate in r.physical.gates() {
+            if let (a, Some(b)) = gate.qubits() {
+                assert!(device.graph().are_coupled(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_distant_pair_is_punished() {
+        // The trivial router drags qubits together once; afterwards the
+        // pair stays adjacent — still it must stay correct.
+        let device = devices::linear(6);
+        let mut c = Circuit::new(6);
+        for _ in 0..3 {
+            c.cx(Qubit(0), Qubit(5));
+        }
+        let r = route(&c, device.graph());
+        assert_eq!(r.num_swaps, 4, "first gate pays 4 swaps, then adjacency persists");
+    }
+
+    #[test]
+    fn interleaved_single_qubit_gates_keep_wire_identity() {
+        let device = devices::linear(4);
+        let mut c = Circuit::new(4);
+        c.h(Qubit(3));
+        c.cx(Qubit(0), Qubit(3));
+        c.h(Qubit(3));
+        let r = route(&c, device.graph());
+        // Logical q3's trailing H must land on its final physical wire.
+        let last = r.physical.gates().last().unwrap();
+        assert_eq!(last.qubits().0, r.final_layout.phys_of(Qubit(3)));
+    }
+
+    #[test]
+    fn gate_count_conservation() {
+        let device = devices::ibm_q20_tokyo();
+        let mut c = Circuit::new(12);
+        for r in 0..40u32 {
+            let a = (r * 5 + 1) % 12;
+            let b = (r * 11 + 6) % 12;
+            if a != b {
+                c.cx(Qubit(a), Qubit(b));
+            }
+        }
+        let r = route(&c, device.graph());
+        assert_eq!(r.physical.num_gates(), c.num_gates() + r.num_swaps);
+    }
+}

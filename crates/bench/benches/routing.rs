@@ -1,0 +1,61 @@
+//! End-to-end SABRE routing throughput (supports the paper's runtime
+//! columns `t_1` and `t_op` in Table II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sabre::{SabreConfig, SabreRouter};
+use sabre_benchgen::{ising, qft, toffoli};
+use sabre_topology::devices;
+
+fn bench_qft_sizes(c: &mut Criterion) {
+    let device = devices::ibm_q20_tokyo();
+    let mut group = c.benchmark_group("sabre_route_qft");
+    group.sample_size(20);
+    for n in [5u32, 10, 15, 20] {
+        let circuit = qft::qft(n);
+        // Single traversal (t_1 regime).
+        let fast = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        group.bench_with_input(BenchmarkId::new("single_pass", n), &circuit, |b, circ| {
+            b.iter(|| fast.route(circ).unwrap().added_gates())
+        });
+        // Full pipeline (t_op regime).
+        let full = SabreRouter::new(device.graph().clone(), SabreConfig::paper()).unwrap();
+        group.bench_with_input(BenchmarkId::new("paper_pipeline", n), &circuit, |b, circ| {
+            b.iter(|| full.route(circ).unwrap().added_gates())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ising(c: &mut Criterion) {
+    let device = devices::ibm_q20_tokyo();
+    let router = SabreRouter::new(device.graph().clone(), SabreConfig::paper()).unwrap();
+    let mut group = c.benchmark_group("sabre_route_ising");
+    group.sample_size(20);
+    for n in [10u32, 16] {
+        let circuit = ising::ising_chain(n, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circ| {
+            b.iter(|| router.route(circ).unwrap().added_gates())
+        });
+    }
+    group.finish();
+}
+
+fn bench_large_arithmetic(c: &mut Criterion) {
+    let device = devices::ibm_q20_tokyo();
+    let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+    let mut group = c.benchmark_group("sabre_route_toffoli_network");
+    group.sample_size(10);
+    for gadgets in [25usize, 100, 400] {
+        let config = toffoli::NetworkConfig::arithmetic(15, gadgets);
+        let circuit = toffoli::toffoli_network(config, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gadgets * 15),
+            &circuit,
+            |b, circ| b.iter(|| router.route(circ).unwrap().added_gates()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qft_sizes, bench_ising, bench_large_arithmetic);
+criterion_main!(benches);

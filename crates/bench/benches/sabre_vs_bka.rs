@@ -1,0 +1,37 @@
+//! Head-to-head runtime of SABRE vs the exponential BKA search on inputs
+//! small enough for BKA to finish — the microbenchmark behind the paper's
+//! `t_tot / t_op` speedup column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sabre::{SabreConfig, SabreRouter};
+use sabre_baseline::bka::{Bka, BkaConfig};
+use sabre_baseline::{greedy, trivial};
+use sabre_benchgen::qft;
+use sabre_topology::devices;
+
+fn bench_head_to_head(c: &mut Criterion) {
+    let device = devices::ibm_q20_tokyo();
+    let mut group = c.benchmark_group("router_comparison");
+    group.sample_size(10);
+    for n in [5u32, 8, 10] {
+        let circuit = qft::qft(n);
+        let sabre = SabreRouter::new(device.graph().clone(), SabreConfig::paper()).unwrap();
+        group.bench_with_input(BenchmarkId::new("sabre", n), &circuit, |b, circ| {
+            b.iter(|| sabre.route(circ).unwrap().added_gates())
+        });
+        let bka = Bka::new(device.graph().clone(), BkaConfig::default());
+        group.bench_with_input(BenchmarkId::new("bka", n), &circuit, |b, circ| {
+            b.iter(|| bka.route(circ).unwrap().routed.added_gates())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &circuit, |b, circ| {
+            b.iter(|| greedy::route(circ, device.graph()).added_gates())
+        });
+        group.bench_with_input(BenchmarkId::new("trivial", n), &circuit, |b, circ| {
+            b.iter(|| trivial::route(circ, device.graph()).added_gates())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_head_to_head);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Regenerates the paper's **§V-A1 small-case optimality study**: on the
+//! small benchmarks a perfect (zero-SWAP) initial mapping exists, and
+//! SABRE finds it ("The number of additional gates could be significantly
+//! reduced by 91% or even fully eliminated").
+//!
+//! Ground truth comes from the independent subgraph-embedding checker in
+//! `sabre-topology`: each small benchmark's interaction graph is verified
+//! to embed into IBM Q20 Tokyo, so 0 added gates is achievable; the busy
+//! question is whether the router *finds* it. The sim (Ising) rows are
+//! included since they share the property via Hamiltonian paths.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p sabre-bench --release --bin smallopt
+//! ```
+
+use sabre::SabreConfig;
+use sabre_bench::measure_sabre;
+use sabre_benchgen::registry::{self, Category};
+use sabre_circuit::interaction::InteractionGraph;
+use sabre_topology::{devices, embedding};
+
+fn main() {
+    let device = devices::ibm_q20_tokyo();
+    let graph = device.graph();
+
+    println!("Small-case optimality reproduction (paper §V-A1) — IBM Q20 Tokyo\n");
+    let header = format!(
+        "{:<16} {:>3} {:>6} | {:>11} | {:>7} {:>7} | {:>9}",
+        "benchmark", "n", "g_ori", "embeddable?", "g_la", "g_op", "optimal?"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+
+    let mut found_optimal = 0usize;
+    let mut total = 0usize;
+    for spec in registry::table2() {
+        if spec.category != Category::Small && spec.category != Category::Sim {
+            continue;
+        }
+        let circuit = spec.generate();
+        let ig = InteractionGraph::of(&circuit);
+        let embeddable = embedding::is_embeddable(&ig, graph);
+        let (m, result) = measure_sabre(&circuit, graph, SabreConfig::paper());
+        let optimal = embeddable && m.added_gates == 0;
+        total += 1;
+        found_optimal += usize::from(optimal);
+        println!(
+            "{:<16} {:>3} {:>6} | {:>11} | {:>7} {:>7} | {:>9}",
+            spec.name,
+            spec.num_qubits,
+            circuit.num_gates(),
+            if embeddable { "yes" } else { "no" },
+            result.first_traversal_added_gates,
+            m.added_gates,
+            if optimal {
+                "OPTIMAL"
+            } else if embeddable {
+                "missed"
+            } else {
+                "n/a"
+            }
+        );
+    }
+    println!(
+        "\nSABRE found the zero-SWAP optimum on {found_optimal}/{total} perfect-mapping benchmarks."
+    );
+}

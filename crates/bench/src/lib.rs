@@ -1,0 +1,162 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` §3 for the index); this library
+//! holds the common measurement and formatting plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use sabre::{RoutedCircuit, SabreConfig, SabreResult, SabreRouter};
+use sabre_baseline::bka::{Bka, BkaConfig, BkaError, BkaStats};
+use sabre_circuit::Circuit;
+use sabre_topology::CouplingGraph;
+use sabre_verify::verify_routed;
+
+/// Outcome of timing one router on one benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Additional gates (`3 × swaps`).
+    pub added_gates: usize,
+    /// Decomposed output depth.
+    pub depth: usize,
+    /// Wall-clock runtime.
+    pub elapsed: Duration,
+}
+
+/// BKA measurement: either a completed routing or the out-of-memory
+/// marker with the search effort at failure.
+#[derive(Clone, Debug)]
+pub enum BkaMeasurement {
+    /// BKA finished within budget.
+    Done {
+        /// The timing/size numbers.
+        measurement: Measurement,
+        /// Search counters.
+        stats: BkaStats,
+    },
+    /// The node budget was exhausted — the Table II "Out of Memory" case.
+    OutOfMemory {
+        /// Nodes generated before the budget tripped.
+        nodes_generated: usize,
+        /// Time spent before failing.
+        elapsed: Duration,
+    },
+}
+
+/// Runs the full SABRE pipeline, verifies the result, and returns the
+/// measurement together with the raw result.
+///
+/// # Panics
+///
+/// Panics if routing fails or verification rejects the output — an
+/// experiment must never report unverified numbers.
+pub fn measure_sabre(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    config: SabreConfig,
+) -> (Measurement, SabreResult) {
+    let router = SabreRouter::new(graph.clone(), config).expect("valid device and config");
+    let start = Instant::now();
+    let result = router.route(circuit).expect("circuit fits the device");
+    let elapsed = start.elapsed();
+    verify(circuit, &result.best, graph);
+    (
+        Measurement {
+            added_gates: result.added_gates(),
+            depth: result.best.depth(),
+            elapsed,
+        },
+        result,
+    )
+}
+
+/// Runs BKA with the given budget, verifying on success.
+pub fn measure_bka(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    config: BkaConfig,
+) -> BkaMeasurement {
+    let bka = Bka::new(graph.clone(), config);
+    let start = Instant::now();
+    match bka.route(circuit) {
+        Ok(outcome) => {
+            let elapsed = start.elapsed();
+            verify(circuit, &outcome.routed, graph);
+            BkaMeasurement::Done {
+                measurement: Measurement {
+                    added_gates: outcome.routed.added_gates(),
+                    depth: outcome.routed.depth(),
+                    elapsed,
+                },
+                stats: outcome.stats,
+            }
+        }
+        Err(BkaError::MemoryLimitExceeded {
+            nodes_generated, ..
+        }) => BkaMeasurement::OutOfMemory {
+            nodes_generated,
+            elapsed: start.elapsed(),
+        },
+        Err(other) => panic!("BKA failed unexpectedly: {other}"),
+    }
+}
+
+/// Verifies a routed circuit against its source, panicking on any
+/// discrepancy.
+pub fn verify(original: &Circuit, routed: &RoutedCircuit, graph: &CouplingGraph) {
+    verify_routed(
+        original,
+        &routed.physical,
+        routed.initial_layout.logical_to_physical(),
+        routed.final_layout.logical_to_physical(),
+        graph,
+    )
+    .unwrap_or_else(|e| panic!("verification failed for `{}`: {e}", original.name()));
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Prints a horizontal rule sized to a header line.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_topology::devices;
+
+    #[test]
+    fn measure_sabre_on_tiny_circuit() {
+        let device = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(sabre_circuit::Qubit(0), sabre_circuit::Qubit(2));
+        let (m, result) = measure_sabre(&c, device.graph(), SabreConfig::fast());
+        assert_eq!(m.added_gates % 3, 0);
+        assert_eq!(m.added_gates, result.added_gates());
+    }
+
+    #[test]
+    fn measure_bka_on_tiny_circuit() {
+        let device = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(sabre_circuit::Qubit(0), sabre_circuit::Qubit(2));
+        match measure_bka(&c, device.graph(), BkaConfig::default()) {
+            BkaMeasurement::Done { measurement, .. } => {
+                assert_eq!(measurement.added_gates % 3, 0);
+            }
+            BkaMeasurement::OutOfMemory { .. } => panic!("tiny circuit cannot OOM"),
+        }
+    }
+
+    #[test]
+    fn fmt_secs_format() {
+        assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,228 @@
+//! Toffoli-network generators — the RevLib arithmetic stand-ins.
+//!
+//! RevLib benchmarks (`rd84`, `adr4`, `sym6`, `misex1`, ...) are reversible
+//! netlists built almost entirely from Toffoli (CCX) and CNOT gates; the
+//! QASM files the paper routes are those netlists compiled to the
+//! Clifford+T elementary set, where one Toffoli costs 15 gates: 2 H, 7 T/T†
+//! and 6 CNOTs (paper Figure 1). A locality-biased random Toffoli network
+//! therefore reproduces both the size and the interaction statistics of the
+//! originals — the properties routing cost depends on — without the
+//! original files. Each Table II "large" row maps to `⌈g_ori / 15⌉`
+//! Toffolis, landing within ±7 gates of the paper's totals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sabre_circuit::{Circuit, Gate, OneQubitKind, Params, Qubit};
+
+/// Appends the 15-gate Clifford+T decomposition of a Toffoli with controls
+/// `a`, `b` and target `t` (paper Figure 1).
+///
+/// # Panics
+///
+/// Panics if the three wires are not distinct or lie outside the register.
+pub fn push_toffoli(c: &mut Circuit, a: Qubit, b: Qubit, t: Qubit) {
+    assert!(a != b && b != t && a != t, "toffoli wires must be distinct");
+    let one = |c: &mut Circuit, kind, q| c.push(Gate::one(kind, q, Params::EMPTY));
+    use OneQubitKind::{Tdg, H, T};
+    one(c, H, t);
+    c.cx(b, t);
+    one(c, Tdg, t);
+    c.cx(a, t);
+    one(c, T, t);
+    c.cx(b, t);
+    one(c, Tdg, t);
+    c.cx(a, t);
+    one(c, T, b);
+    one(c, T, t);
+    one(c, H, t);
+    c.cx(a, b);
+    one(c, T, a);
+    one(c, Tdg, b);
+    c.cx(a, b);
+}
+
+/// Configuration for [`toffoli_network`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkConfig {
+    /// Wires in the circuit.
+    pub num_qubits: u32,
+    /// Number of Toffoli gadgets to emit (15 gates each).
+    pub num_toffolis: usize,
+    /// Probability that the next gadget reuses a wire of the previous one —
+    /// arithmetic circuits chain through carry/sum wires, so interactions
+    /// cluster. `0.0` gives uniform placement.
+    pub chain_bias: f64,
+    /// Window size for picking the remaining wires near the pivot; small
+    /// windows give the local, banded interaction structure of adders.
+    pub window: u32,
+}
+
+impl NetworkConfig {
+    /// Defaults that mimic RevLib arithmetic structure: strong chaining and
+    /// a window of 4 wires.
+    pub fn arithmetic(num_qubits: u32, num_toffolis: usize) -> Self {
+        NetworkConfig {
+            num_qubits,
+            num_toffolis,
+            chain_bias: 0.7,
+            window: 4,
+        }
+    }
+}
+
+/// Generates a deterministic pseudo-random Toffoli network.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 3`.
+pub fn toffoli_network(config: NetworkConfig, seed: u64) -> Circuit {
+    assert!(config.num_qubits >= 3, "a toffoli needs 3 distinct wires");
+    let n = config.num_qubits;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("toffoli_net_{n}"));
+    let mut prev: Option<[Qubit; 3]> = None;
+    for _ in 0..config.num_toffolis {
+        let pivot = match prev {
+            Some(wires) if rng.gen_bool(config.chain_bias) => {
+                wires[rng.gen_range(0..3)]
+            }
+            _ => Qubit(rng.gen_range(0..n)),
+        };
+        let triple = pick_triple_near(&mut rng, n, pivot, config.window);
+        push_toffoli(&mut c, triple[0], triple[1], triple[2]);
+        prev = Some(triple);
+    }
+    c
+}
+
+/// Picks three distinct wires around `pivot` within `window` (falling back
+/// to the whole register when the window is too tight).
+fn pick_triple_near(rng: &mut StdRng, n: u32, pivot: Qubit, window: u32) -> [Qubit; 3] {
+    let lo = pivot.0.saturating_sub(window);
+    let hi = (pivot.0 + window + 1).min(n);
+    let mut triple = [pivot; 3];
+    for slot in 1..3 {
+        let mut attempts = 0;
+        loop {
+            let candidate = if attempts < 16 && hi - lo >= 3 {
+                Qubit(rng.gen_range(lo..hi))
+            } else {
+                Qubit(rng.gen_range(0..n))
+            };
+            if !triple[..slot].contains(&candidate) {
+                triple[slot] = candidate;
+                break;
+            }
+            attempts += 1;
+        }
+    }
+    // Random role assignment (controls vs target).
+    let target_slot = rng.gen_range(0..3);
+    triple.swap(target_slot, 2);
+    triple
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::interaction::InteractionGraph;
+    use sabre_sim::{equivalence::unitaries_equal, StateVector};
+
+    #[test]
+    fn toffoli_gadget_is_15_gates_6_cnots() {
+        let mut c = Circuit::new(3);
+        push_toffoli(&mut c, Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(c.num_gates(), 15);
+        assert_eq!(c.num_two_qubit_gates(), 6);
+    }
+
+    #[test]
+    fn toffoli_gadget_computes_ccx() {
+        // Truth table: target flips iff both controls are 1.
+        for basis in 0..8usize {
+            let mut c = Circuit::new(3);
+            push_toffoli(&mut c, Qubit(0), Qubit(1), Qubit(2));
+            let out = StateVector::basis(3, basis).evolved(&c);
+            let expected = if basis & 0b011 == 0b011 {
+                basis ^ 0b100
+            } else {
+                basis
+            };
+            assert!(
+                out.probability(expected) > 1.0 - 1e-9,
+                "basis {basis} mapped wrongly"
+            );
+        }
+    }
+
+    #[test]
+    fn toffoli_gadget_is_self_inverse() {
+        let mut c = Circuit::new(3);
+        push_toffoli(&mut c, Qubit(0), Qubit(1), Qubit(2));
+        let mut cc = c.clone();
+        cc.extend(c.gates().iter().copied());
+        let identity = Circuit::new(3);
+        assert!(unitaries_equal(&cc, &identity, 1e-9).is_equivalent());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn toffoli_rejects_duplicate_wires() {
+        let mut c = Circuit::new(3);
+        push_toffoli(&mut c, Qubit(0), Qubit(0), Qubit(2));
+    }
+
+    #[test]
+    fn network_size_matches_formula() {
+        let config = NetworkConfig::arithmetic(10, 23);
+        let c = toffoli_network(config, 42);
+        assert_eq!(c.num_gates(), 23 * 15);
+        assert_eq!(c.num_two_qubit_gates(), 23 * 6);
+    }
+
+    #[test]
+    fn network_is_deterministic_per_seed() {
+        let config = NetworkConfig::arithmetic(8, 10);
+        assert_eq!(toffoli_network(config, 7), toffoli_network(config, 7));
+        assert_ne!(toffoli_network(config, 7), toffoli_network(config, 8));
+    }
+
+    #[test]
+    fn chained_networks_have_banded_interactions() {
+        // With a tight window, most interactions should be short-range.
+        let config = NetworkConfig {
+            num_qubits: 16,
+            num_toffolis: 200,
+            chain_bias: 0.7,
+            window: 3,
+        };
+        let c = toffoli_network(config, 1);
+        let ig = InteractionGraph::of(&c);
+        let short: usize = ig
+            .iter()
+            .filter(|((a, b), _)| b.0 - a.0 <= 3)
+            .map(|(_, w)| w)
+            .sum();
+        let total: usize = ig.iter().map(|(_, w)| w).sum();
+        assert!(
+            short * 10 >= total * 7,
+            "expected ≥70% short-range interactions, got {short}/{total}"
+        );
+    }
+
+    #[test]
+    fn network_touches_most_wires() {
+        let config = NetworkConfig::arithmetic(12, 60);
+        let c = toffoli_network(config, 3);
+        let ig = InteractionGraph::of(&c);
+        let active = (0..12).filter(|&q| ig.degree(Qubit(q)) > 0).count();
+        assert!(active >= 10, "only {active} wires used");
+    }
+
+    #[test]
+    fn tiny_register_still_works() {
+        let config = NetworkConfig::arithmetic(3, 5);
+        let c = toffoli_network(config, 0);
+        assert_eq!(c.num_gates(), 75);
+    }
+}

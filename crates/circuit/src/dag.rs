@@ -1,0 +1,406 @@
+use std::collections::VecDeque;
+
+use crate::Circuit;
+
+/// The execution-constraint DAG of paper §IV-A.
+///
+/// Nodes are gate indices into the source [`Circuit`]; there is an edge
+/// `u → v` when `v` is the next gate after `u` on some shared wire. A gate
+/// is executable once all its predecessors have executed. Single-qubit
+/// gates participate (they must stay ordered relative to the two-qubit
+/// gates on their wire when the routed circuit is emitted) but never block
+/// routing: a router executes them the moment they become ready.
+///
+/// # Example
+///
+/// ```
+/// use sabre_circuit::{Circuit, DependencyDag, Qubit};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(Qubit(0), Qubit(1)); // g0
+/// c.cx(Qubit(1), Qubit(2)); // g1 depends on g0 (shares q1)
+/// let dag = DependencyDag::new(&c);
+/// assert_eq!(dag.successors(0), &[1]);
+/// assert_eq!(dag.predecessors(1), &[0]);
+/// assert_eq!(dag.initial_front(), vec![0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DependencyDag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl DependencyDag {
+    /// Builds the DAG in `O(g)` by tracking the last gate seen on each wire
+    /// (the complexity the paper quotes for this step).
+    pub fn new(circuit: &Circuit) -> Self {
+        let g = circuit.num_gates();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); g];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); g];
+        let mut last_on_wire: Vec<Option<usize>> = vec![None; circuit.num_qubits() as usize];
+
+        for (idx, gate) in circuit.iter().enumerate() {
+            let (a, b) = gate.qubits();
+            let mut wires = [Some(a), b];
+            for wire in wires.iter_mut().flatten() {
+                if let Some(prev) = last_on_wire[wire.index()] {
+                    // A two-qubit gate sharing both wires with `prev` would
+                    // produce a duplicate edge; dedup keeps counts correct.
+                    if succs[prev].last() != Some(&idx) {
+                        succs[prev].push(idx);
+                        preds[idx].push(prev);
+                    }
+                }
+                last_on_wire[wire.index()] = Some(idx);
+            }
+        }
+        DependencyDag { preds, succs }
+    }
+
+    /// Number of nodes (gates).
+    pub fn num_nodes(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Gates that must execute immediately before `idx` (share a wire).
+    pub fn predecessors(&self, idx: usize) -> &[usize] {
+        &self.preds[idx]
+    }
+
+    /// Gates unlocked by `idx` on some wire.
+    pub fn successors(&self, idx: usize) -> &[usize] {
+        &self.succs[idx]
+    }
+
+    /// Gate indices with no predecessors — the initial front layer `F`
+    /// (paper §IV-A "Front layer initialization").
+    pub fn initial_front(&self) -> Vec<usize> {
+        (0..self.preds.len())
+            .filter(|&i| self.preds[i].is_empty())
+            .collect()
+    }
+
+    /// A topological order of the gates (program order is always one, but
+    /// this derives it from the edges, which tests use as an invariant).
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<usize> = self.initial_front().into();
+        let mut order = Vec::with_capacity(self.num_nodes());
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.succs[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// Collects up to `limit` two-qubit gate indices reachable from the
+    /// given front gates by breadth-first search — the **extended set**
+    /// `E` of paper §IV-D used for the look-ahead term of Equation 2.
+    ///
+    /// Gates already in the front are not included. Single-qubit gates are
+    /// traversed through but not collected (they carry no distance cost).
+    pub fn extended_set(&self, circuit: &Circuit, front: &[usize], limit: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(limit);
+        if limit == 0 {
+            return out;
+        }
+        let mut visited = vec![false; self.num_nodes()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &f in front {
+            visited[f] = true;
+            queue.push_back(f);
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.succs[u] {
+                if visited[v] {
+                    continue;
+                }
+                visited[v] = true;
+                if circuit.gates()[v].is_two_qubit() {
+                    out.push(v);
+                    if out.len() == limit {
+                        return out;
+                    }
+                }
+                queue.push_back(v);
+            }
+        }
+        out
+    }
+}
+
+/// Incremental tracker of which gates are ready to execute.
+///
+/// This is the mutable companion of [`DependencyDag`]: `mark_executed`
+/// retires a ready gate and reports which gates became ready, exactly the
+/// bookkeeping of Algorithm 1's "obtain successor gates from DAG / if
+/// dependencies are resolved, add to F" step. It is shared by the SABRE
+/// router, the baselines, and the routed-circuit verifier.
+#[derive(Clone, Debug)]
+pub struct ExecutionFrontier {
+    remaining_preds: Vec<usize>,
+    executed: Vec<bool>,
+    ready: Vec<usize>,
+    num_executed: usize,
+}
+
+impl ExecutionFrontier {
+    /// Starts a fresh execution over `dag`, with the initial front ready.
+    pub fn new(dag: &DependencyDag) -> Self {
+        let remaining_preds: Vec<usize> = (0..dag.num_nodes())
+            .map(|i| dag.predecessors(i).len())
+            .collect();
+        let ready = dag.initial_front();
+        ExecutionFrontier {
+            remaining_preds,
+            executed: vec![false; dag.num_nodes()],
+            ready,
+            num_executed: 0,
+        }
+    }
+
+    /// Gate indices currently ready (no unexecuted predecessors). Order is
+    /// unspecified.
+    pub fn ready(&self) -> &[usize] {
+        &self.ready
+    }
+
+    /// Whether gate `idx` is ready.
+    pub fn is_ready(&self, idx: usize) -> bool {
+        !self.executed[idx] && self.remaining_preds[idx] == 0
+    }
+
+    /// Whether gate `idx` has been executed.
+    pub fn is_executed(&self, idx: usize) -> bool {
+        self.executed[idx]
+    }
+
+    /// Number of gates executed so far.
+    pub fn num_executed(&self) -> usize {
+        self.num_executed
+    }
+
+    /// Whether every gate has executed.
+    pub fn is_complete(&self) -> bool {
+        self.num_executed == self.executed.len()
+    }
+
+    /// Retires `idx` and returns the gates that became ready as a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not currently ready — executing a blocked gate
+    /// would mean the caller violated a dependency, which is precisely the
+    /// bug class this type exists to catch.
+    pub fn mark_executed(&mut self, dag: &DependencyDag, idx: usize) -> Vec<usize> {
+        assert!(self.is_ready(idx), "gate {idx} is not ready for execution");
+        self.executed[idx] = true;
+        self.num_executed += 1;
+        if let Some(pos) = self.ready.iter().position(|&g| g == idx) {
+            self.ready.swap_remove(pos);
+        }
+        let mut newly_ready = Vec::new();
+        for &succ in dag.successors(idx) {
+            self.remaining_preds[succ] -= 1;
+            if self.remaining_preds[succ] == 0 {
+                self.ready.push(succ);
+                newly_ready.push(succ);
+            }
+        }
+        newly_ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gate, Qubit};
+
+    /// The circuit of the paper's Figure 4 (two-qubit skeleton): gates g1..g8
+    /// on qubits q1..q6 — here 0-indexed.
+    fn fig4() -> Circuit {
+        let q = |i: u32| Qubit(i - 1);
+        let mut c = Circuit::new(6);
+        c.cx(q(2), q(3)); // g1
+        c.cx(q(4), q(6)); // g2
+        c.cx(q(2), q(4)); // g3
+        c.cx(q(3), q(5)); // g4
+        c.cx(q(1), q(2)); // g5
+        c.cx(q(4), q(5)); // g6
+        c.cx(q(1), q(4)); // g7
+        c.cx(q(3), q(6)); // g8
+        c
+    }
+
+    #[test]
+    fn fig4_front_layer_is_g1_g2() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        assert_eq!(
+            dag.initial_front(),
+            vec![0, 1],
+            "paper §IV-A: initial front layer contains g1 and g2"
+        );
+    }
+
+    #[test]
+    fn fig4_g3_depends_on_g1_and_g2() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        // g3 = index 2 shares q2 with g1 and q4 with g2.
+        let mut preds = dag.predecessors(2).to_vec();
+        preds.sort_unstable();
+        assert_eq!(preds, vec![0, 1]);
+    }
+
+    #[test]
+    fn edges_follow_shared_wires() {
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1)); // 0
+        c.h(Qubit(1)); // 1 depends on 0
+        c.cx(Qubit(1), Qubit(2)); // 2 depends on 1
+        c.x(Qubit(0)); // 3 depends on 0
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.predecessors(3), &[0]);
+        let mut succs = dag.successors(0).to_vec();
+        succs.sort_unstable();
+        assert_eq!(succs, vec![1, 3]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut c = Circuit::new(2);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(0), Qubit(1)); // shares both wires with previous
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.predecessors(1), &[0], "one edge, not two");
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let order = dag.topological_order();
+        assert_eq!(order.len(), c.num_gates());
+        let mut pos = vec![0; order.len()];
+        for (i, &g) in order.iter().enumerate() {
+            pos[g] = i;
+        }
+        for v in 0..dag.num_nodes() {
+            for &u in dag.predecessors(v) {
+                assert!(pos[u] < pos[v], "edge {u}->{v} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_executes_whole_circuit() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let mut frontier = ExecutionFrontier::new(&dag);
+        let mut executed = 0;
+        while !frontier.is_complete() {
+            let g = frontier.ready()[0];
+            frontier.mark_executed(&dag, g);
+            executed += 1;
+        }
+        assert_eq!(executed, c.num_gates());
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn frontier_rejects_blocked_gate() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let mut frontier = ExecutionFrontier::new(&dag);
+        frontier.mark_executed(&dag, 2); // g3 is blocked by g1, g2
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn frontier_rejects_double_execution() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let mut frontier = ExecutionFrontier::new(&dag);
+        frontier.mark_executed(&dag, 0);
+        frontier.mark_executed(&dag, 0);
+    }
+
+    #[test]
+    fn mark_executed_reports_newly_ready() {
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1)); // 0
+        c.cx(Qubit(0), Qubit(1)); // 1, unlocked by 0
+        c.cx(Qubit(1), Qubit(2)); // 2, unlocked by 1
+        let dag = DependencyDag::new(&c);
+        let mut frontier = ExecutionFrontier::new(&dag);
+        assert_eq!(frontier.mark_executed(&dag, 0), vec![1]);
+        assert_eq!(frontier.mark_executed(&dag, 1), vec![2]);
+        assert_eq!(frontier.mark_executed(&dag, 2), Vec::<usize>::new());
+        assert!(frontier.is_complete());
+    }
+
+    #[test]
+    fn extended_set_collects_nearest_successors_first() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let front = dag.initial_front();
+        let ext = dag.extended_set(&c, &front, 3);
+        // BFS from {g1,g2}: first ring is g3 (idx 2) and g4 (idx 3), then g6...
+        assert_eq!(ext.len(), 3);
+        assert!(ext.contains(&2));
+        assert!(ext.contains(&3));
+    }
+
+    #[test]
+    fn extended_set_respects_limit_and_excludes_front() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let front = dag.initial_front();
+        for limit in 0..6 {
+            let ext = dag.extended_set(&c, &front, limit);
+            assert!(ext.len() <= limit);
+            for f in &front {
+                assert!(!ext.contains(f));
+            }
+        }
+    }
+
+    #[test]
+    fn extended_set_skips_one_qubit_gates_but_traverses_them() {
+        let mut c = Circuit::new(2);
+        c.cx(Qubit(0), Qubit(1)); // 0: front
+        c.h(Qubit(0)); // 1: 1q, traversed not collected
+        c.cx(Qubit(0), Qubit(1)); // 2: should appear in E
+        let dag = DependencyDag::new(&c);
+        let ext = dag.extended_set(&c, &[0], 10);
+        assert_eq!(ext, vec![2]);
+    }
+
+    #[test]
+    fn single_gate_circuit() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(Qubit(0), Qubit(1)));
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.initial_front(), vec![0]);
+        assert!(dag.successors(0).is_empty());
+    }
+
+    #[test]
+    fn empty_circuit_dag() {
+        let c = Circuit::new(3);
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.num_nodes(), 0);
+        assert!(dag.initial_front().is_empty());
+        let frontier = ExecutionFrontier::new(&dag);
+        assert!(frontier.is_complete());
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Qubit;
+
+/// Errors produced when building or validating circuits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a wire outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending wire.
+        qubit: Qubit,
+        /// The circuit's register size.
+        num_qubits: u32,
+    },
+    /// A two-qubit gate was given the same wire twice.
+    DuplicateOperands {
+        /// The repeated wire.
+        qubit: Qubit,
+    },
+    /// A gate carried the wrong number of rotation angles.
+    WrongParamCount {
+        /// The gate's mnemonic.
+        mnemonic: &'static str,
+        /// How many angles the kind requires.
+        expected: usize,
+        /// How many were supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} is out of range for a circuit with {num_qubits} qubits"
+            ),
+            CircuitError::DuplicateOperands { qubit } => {
+                write!(f, "two-qubit gate uses wire {qubit} for both operands")
+            }
+            CircuitError::WrongParamCount {
+                mnemonic,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "gate `{mnemonic}` expects {expected} parameter(s), got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: Qubit(7),
+            num_qubits: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("q7"));
+        assert!(msg.contains('5'));
+        assert_eq!(msg, msg.trim_end_matches('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn accepts_error<E: Error + Send + Sync + 'static>(_: E) {}
+        accepts_error(CircuitError::DuplicateOperands { qubit: Qubit(0) });
+    }
+
+    #[test]
+    fn wrong_param_count_message() {
+        let e = CircuitError::WrongParamCount {
+            mnemonic: "rz",
+            expected: 1,
+            actual: 0,
+        };
+        assert!(e.to_string().contains("rz"));
+    }
+}

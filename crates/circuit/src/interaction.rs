@@ -1,0 +1,166 @@
+//! Logical-qubit interaction graphs.
+//!
+//! The interaction graph of a circuit has one node per wire and an edge
+//! weighted by the number of two-qubit gates between each wire pair. It is
+//! the structure Siraichi et al.'s initial-mapping heuristic matches against
+//! the device's coupling graph (paper §VII), what the benchmark generators
+//! calibrate against, and what the embedding checker tests for a "perfect
+//! initial mapping" (paper §V-A1).
+
+use std::collections::BTreeMap;
+
+use crate::{Circuit, Qubit};
+
+/// Weighted interaction graph of a circuit's two-qubit gates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InteractionGraph {
+    num_qubits: u32,
+    /// Edge weights keyed by ordered pair `(min, max)`.
+    weights: BTreeMap<(Qubit, Qubit), usize>,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of `circuit`.
+    ///
+    /// ```
+    /// use sabre_circuit::{interaction::InteractionGraph, Circuit, Qubit};
+    ///
+    /// let mut c = Circuit::new(3);
+    /// c.cx(Qubit(0), Qubit(1));
+    /// c.cx(Qubit(1), Qubit(0));
+    /// c.cx(Qubit(1), Qubit(2));
+    /// let ig = InteractionGraph::of(&c);
+    /// assert_eq!(ig.weight(Qubit(0), Qubit(1)), 2);
+    /// assert_eq!(ig.num_edges(), 2);
+    /// ```
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut weights = BTreeMap::new();
+        for (a, b) in circuit.two_qubit_pairs() {
+            let key = if a < b { (a, b) } else { (b, a) };
+            *weights.entry(key).or_insert(0) += 1;
+        }
+        InteractionGraph {
+            num_qubits: circuit.num_qubits(),
+            weights,
+        }
+    }
+
+    /// Register size of the source circuit.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of distinct interacting pairs.
+    pub fn num_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of two-qubit gates between `a` and `b` (order-insensitive).
+    pub fn weight(&self, a: Qubit, b: Qubit) -> usize {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.weights.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `((a, b), weight)` with `a < b`, sorted.
+    pub fn iter(&self) -> impl Iterator<Item = ((Qubit, Qubit), usize)> + '_ {
+        self.weights.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Degree of `q`: number of distinct partners.
+    pub fn degree(&self, q: Qubit) -> usize {
+        self.weights.keys().filter(|(a, b)| *a == q || *b == q).count()
+    }
+
+    /// Total interaction weight of `q` (counting multiplicity) — the count
+    /// Siraichi et al. sort by when seeding their initial mapping.
+    pub fn weighted_degree(&self, q: Qubit) -> usize {
+        self.weights
+            .iter()
+            .filter(|((a, b), _)| *a == q || *b == q)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// The unweighted edge list with `a < b`, sorted.
+    pub fn edges(&self) -> Vec<(Qubit, Qubit)> {
+        self.weights.keys().copied().collect()
+    }
+
+    /// Maximum degree over all qubits — a quick embeddability screen: a
+    /// circuit whose max degree exceeds the device's max degree cannot have
+    /// a perfect initial mapping.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_qubits)
+            .map(|q| self.degree(Qubit(q)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(0)); // same pair, reversed direction
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(2), Qubit(3));
+        c.h(Qubit(0)); // ignored
+        c
+    }
+
+    #[test]
+    fn weights_are_order_insensitive() {
+        let ig = InteractionGraph::of(&sample());
+        assert_eq!(ig.weight(Qubit(0), Qubit(1)), 2);
+        assert_eq!(ig.weight(Qubit(1), Qubit(0)), 2);
+        assert_eq!(ig.weight(Qubit(0), Qubit(3)), 0);
+    }
+
+    #[test]
+    fn edge_and_degree_counts() {
+        let ig = InteractionGraph::of(&sample());
+        assert_eq!(ig.num_edges(), 3);
+        assert_eq!(ig.degree(Qubit(1)), 2);
+        assert_eq!(ig.weighted_degree(Qubit(1)), 3);
+        assert_eq!(ig.degree(Qubit(3)), 1);
+        assert_eq!(ig.max_degree(), 2);
+    }
+
+    #[test]
+    fn single_qubit_gates_do_not_contribute() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.h(Qubit(1));
+        let ig = InteractionGraph::of(&c);
+        assert_eq!(ig.num_edges(), 0);
+        assert_eq!(ig.max_degree(), 0);
+    }
+
+    #[test]
+    fn edges_are_sorted_canonical_pairs() {
+        let ig = InteractionGraph::of(&sample());
+        let edges = ig.edges();
+        assert_eq!(
+            edges,
+            vec![
+                (Qubit(0), Qubit(1)),
+                (Qubit(1), Qubit(2)),
+                (Qubit(2), Qubit(3))
+            ]
+        );
+        for (a, b) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn iter_matches_weight_lookup() {
+        let ig = InteractionGraph::of(&sample());
+        for ((a, b), w) in ig.iter() {
+            assert_eq!(ig.weight(a, b), w);
+        }
+    }
+}

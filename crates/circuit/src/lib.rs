@@ -1,0 +1,52 @@
+//! Quantum-circuit intermediate representation for the SABRE reproduction.
+//!
+//! This crate is the substrate every other crate builds on. It provides:
+//!
+//! - [`Qubit`]: a cheap index newtype for circuit wires. A circuit does not
+//!   know whether its wires are *logical* (algorithm) or *physical* (device)
+//!   qubits; that interpretation is supplied by the consumer (the router maps
+//!   logical wires onto physical ones).
+//! - [`Gate`], [`OneQubitKind`], [`TwoQubitKind`], [`Params`]: the gate set
+//!   used throughout the reproduction (the elementary IBM gate set of the
+//!   paper §II-A, plus the convenience two-qubit gates needed by the
+//!   QFT/Ising benchmark generators).
+//! - [`Circuit`]: an ordered gate list with validation, depth computation
+//!   (ASAP scheduling), reversal (paper §IV-C2), and statistics.
+//! - [`DependencyDag`] and [`ExecutionFrontier`]: the execution-constraint
+//!   DAG of paper §IV-A together with an incremental front-layer tracker.
+//! - [`layers`]: partitioning into parallel layers of disjoint gates, the
+//!   preprocessing step of the Zulehner et al. baseline (paper §VII).
+//! - [`interaction`]: the logical-qubit interaction graph used for initial
+//!   mapping heuristics and benchmark calibration.
+//!
+//! # Example
+//!
+//! ```
+//! use sabre_circuit::{Circuit, Qubit};
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(Qubit(0));
+//! c.cx(Qubit(0), Qubit(1));
+//! c.cx(Qubit(1), Qubit(2));
+//! assert_eq!(c.num_gates(), 3);
+//! assert_eq!(c.depth(), 3);
+//! assert_eq!(c.num_two_qubit_gates(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod dag;
+mod error;
+mod gate;
+pub mod interaction;
+pub mod layers;
+pub mod optimize;
+mod qubit;
+
+pub use circuit::{Circuit, CircuitStats};
+pub use dag::{DependencyDag, ExecutionFrontier};
+pub use error::CircuitError;
+pub use gate::{Gate, OneQubitKind, Params, TwoQubitKind};
+pub use qubit::Qubit;

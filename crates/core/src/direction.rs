@@ -1,0 +1,200 @@
+//! Direction-fixing post-pass for chips with one-way CNOT couplings.
+//!
+//! The paper routes for symmetric devices and leaves vendor-specific gate
+//! models as future work (§VI); older IBM chips allowed CNOT in only one
+//! direction per coupling (§III-A). This pass retargets a **routed**
+//! circuit onto such hardware: every CNOT whose control/target orientation
+//! the device forbids is rewritten with the Hadamard-sandwich identity
+//!
+//! ```text
+//! CX(a→b) = (H ⊗ H) · CX(b→a) · (H ⊗ H)
+//! ```
+//!
+//! adding 4 single-qubit gates per flipped CNOT. SWAPs are decomposed
+//! first (their middle CNOT runs against the grain on a one-way coupling),
+//! which reproduces the classic "7 gates per SWAP on directed
+//! architectures" cost model of Zulehner et al.
+
+use sabre_circuit::{Circuit, Gate, TwoQubitKind};
+use sabre_topology::direction::DirectionModel;
+
+/// Statistics from a [`fix_directions`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirectionFixReport {
+    /// CNOTs whose orientation was already native.
+    pub native_cx: usize,
+    /// CNOTs rewritten with the Hadamard sandwich.
+    pub flipped_cx: usize,
+}
+
+impl DirectionFixReport {
+    /// Gates added by the pass (4 Hadamards per flipped CNOT).
+    pub fn added_gates(&self) -> usize {
+        4 * self.flipped_cx
+    }
+}
+
+/// Rewrites `routed` so every CNOT respects `model`'s orientations.
+///
+/// The input must already be hardware-compliant (every two-qubit gate on
+/// a coupled pair) — run it through the router first. SWAP gates are
+/// decomposed into CNOTs before fixing. Symmetric two-qubit gates (CZ,
+/// CP, RZZ) are orientation-free and pass through untouched.
+///
+/// Returns the fixed circuit and a report of how many CNOTs flipped.
+///
+/// # Panics
+///
+/// Panics if a two-qubit gate acts on an uncoupled pair.
+pub fn fix_directions(routed: &Circuit, model: &DirectionModel) -> (Circuit, DirectionFixReport) {
+    let decomposed = routed.with_swaps_decomposed();
+    let mut out = Circuit::with_name(decomposed.num_qubits(), decomposed.name());
+    let mut report = DirectionFixReport::default();
+    for gate in &decomposed {
+        match *gate {
+            Gate::Two {
+                kind: TwoQubitKind::Cx,
+                a,
+                b,
+                ..
+            } => {
+                if model.allows_cx(a, b) {
+                    report.native_cx += 1;
+                    out.push(*gate);
+                } else {
+                    report.flipped_cx += 1;
+                    out.h(a);
+                    out.h(b);
+                    out.cx(b, a);
+                    out.h(a);
+                    out.h(b);
+                }
+            }
+            g => out.push(g),
+        }
+    }
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::Qubit;
+    use sabre_topology::devices;
+    use sabre_topology::direction::{ibm_qx5_directions, DirectionModel};
+
+    #[test]
+    fn native_directions_pass_through() {
+        let device = devices::linear(2);
+        let model = DirectionModel::one_way(device.graph(), &[(0, 1)]);
+        let mut c = Circuit::new(2);
+        c.cx(Qubit(0), Qubit(1));
+        let (fixed, report) = fix_directions(&c, &model);
+        assert_eq!(fixed, c);
+        assert_eq!(report.native_cx, 1);
+        assert_eq!(report.flipped_cx, 0);
+        assert_eq!(report.added_gates(), 0);
+    }
+
+    #[test]
+    fn illegal_direction_gets_hadamard_sandwich() {
+        let device = devices::linear(2);
+        let model = DirectionModel::one_way(device.graph(), &[(0, 1)]);
+        let mut c = Circuit::new(2);
+        c.cx(Qubit(1), Qubit(0)); // against the grain
+        let (fixed, report) = fix_directions(&c, &model);
+        assert_eq!(report.flipped_cx, 1);
+        assert_eq!(fixed.num_gates(), 5);
+        assert_eq!(fixed.num_two_qubit_gates(), 1);
+        // The emitted CX must now be native.
+        for gate in &fixed {
+            if let (a, Some(b)) = gate.qubits() {
+                assert!(model.allows_cx(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn sandwich_preserves_semantics() {
+        use sabre_sim::equivalence::unitaries_equal;
+        let device = devices::linear(2);
+        let model = DirectionModel::one_way(device.graph(), &[(0, 1)]);
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cx(Qubit(1), Qubit(0));
+        c.rz(Qubit(1), 0.3);
+        let (fixed, _) = fix_directions(&c, &model);
+        assert!(unitaries_equal(&c, &fixed, 1e-9).is_equivalent());
+    }
+
+    #[test]
+    fn swap_on_one_way_edge_costs_seven_gates() {
+        // SWAP = 3 CX; on a one-way coupling the middle CX flips: 3 CX + 4 H.
+        let device = devices::linear(2);
+        let model = DirectionModel::one_way(device.graph(), &[(0, 1)]);
+        let mut c = Circuit::new(2);
+        c.swap(Qubit(0), Qubit(1));
+        let (fixed, report) = fix_directions(&c, &model);
+        assert_eq!(report.flipped_cx, 1, "exactly the middle CX flips");
+        assert_eq!(
+            fixed.num_gates(),
+            7,
+            "the classic directed-architecture SWAP cost"
+        );
+    }
+
+    #[test]
+    fn routed_qx5_circuit_becomes_fully_native() {
+        use crate::{SabreConfig, SabreRouter};
+        let device = devices::ibm_qx5();
+        let model = DirectionModel::one_way(device.graph(), &ibm_qx5_directions());
+        let mut circuit = Circuit::new(8);
+        for r in 0..24u32 {
+            let a = (r * 3 + 1) % 8;
+            let b = (r * 5 + 4) % 8;
+            if a != b {
+                circuit.cx(Qubit(a), Qubit(b));
+            }
+        }
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        let routed = router.route(&circuit).unwrap().best;
+        let (fixed, report) = fix_directions(&routed.physical, &model);
+        assert!(report.flipped_cx > 0, "some CNOT should run against the grain");
+        for gate in &fixed {
+            if let Gate::Two {
+                kind: TwoQubitKind::Cx,
+                a,
+                b,
+                ..
+            } = *gate
+            {
+                assert!(model.allows_cx(a, b), "cx {a},{b} still illegal");
+            }
+        }
+        assert_eq!(
+            fixed.num_gates(),
+            routed.physical.num_gates() + 2 * routed.num_swaps + report.added_gates()
+        );
+    }
+
+    #[test]
+    fn symmetric_gates_untouched() {
+        let device = devices::linear(2);
+        let model = DirectionModel::one_way(device.graph(), &[(0, 1)]);
+        let mut c = Circuit::new(2);
+        c.cp(Qubit(1), Qubit(0), 0.5);
+        c.rzz(Qubit(1), Qubit(0), 0.25);
+        let (fixed, report) = fix_directions(&c, &model);
+        assert_eq!(fixed, c);
+        assert_eq!(report.flipped_cx, 0);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let device = devices::linear(2);
+        let model = DirectionModel::symmetric(device.graph());
+        let (fixed, report) = fix_directions(&Circuit::new(2), &model);
+        assert!(fixed.is_empty());
+        assert_eq!(report, DirectionFixReport::default());
+    }
+}

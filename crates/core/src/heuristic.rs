@@ -1,0 +1,227 @@
+//! The heuristic cost functions of paper §IV-D.
+
+use sabre_circuit::{Circuit, Qubit};
+use sabre_topology::WeightedDistanceMatrix;
+
+use crate::{HeuristicKind, Layout};
+
+/// Everything a swap evaluation needs, borrowed from the router's state.
+pub(crate) struct HeuristicInputs<'a> {
+    /// Distance matrix `D` of the device — hop counts by default, or
+    /// fidelity-weighted SWAP costs under the noise-aware extension.
+    pub dist: &'a WeightedDistanceMatrix,
+    /// The circuit being routed (gates resolved by index).
+    pub circuit: &'a Circuit,
+    /// Front layer `F`: indices of ready-but-blocked two-qubit gates.
+    pub front: &'a [usize],
+    /// Extended set `E`: indices of look-ahead two-qubit gates.
+    pub extended: &'a [usize],
+    /// Look-ahead weight `W`.
+    pub weight: f64,
+    /// Which cost function variant to evaluate.
+    pub kind: HeuristicKind,
+}
+
+/// Sum of current distances between the mapped endpoints of the given
+/// gates — `Σ D[π(g.q1)][π(g.q2)]` over a gate set.
+fn distance_sum(inputs: &HeuristicInputs<'_>, layout: &Layout, gates: &[usize]) -> f64 {
+    gates
+        .iter()
+        .map(|&idx| {
+            let (a, b) = inputs.circuit.gates()[idx].qubits();
+            let b = b.expect("front/extended sets contain only two-qubit gates");
+            inputs.dist.get(layout.phys_of(a), layout.phys_of(b))
+        })
+        .sum()
+}
+
+/// Scores the SWAP on physical edge `(a, b)` under the tentative layout
+/// `π.update(SWAP)`. Lower is better. The layout is mutated and restored
+/// before returning (Algorithm 1's `π_temp`).
+///
+/// - [`HeuristicKind::Basic`] — Equation 1: `Σ_{g∈F} D[π(g.q1)][π(g.q2)]`.
+/// - [`HeuristicKind::LookAhead`] — the same, normalized by `|F|`, plus
+///   `W/|E| · Σ_{g∈E} D[…]`.
+/// - [`HeuristicKind::Decay`] — Equation 2: the look-ahead score times
+///   `max(decay(SWAP.q1), decay(SWAP.q2))`.
+pub(crate) fn score_swap(
+    inputs: &HeuristicInputs<'_>,
+    layout: &mut Layout,
+    decay: &[f64],
+    swap: (Qubit, Qubit),
+) -> f64 {
+    let (a, b) = swap;
+    layout.swap_physical(a, b);
+    let score = match inputs.kind {
+        HeuristicKind::Basic => distance_sum(inputs, layout, inputs.front),
+        HeuristicKind::LookAhead | HeuristicKind::Decay => {
+            let front_term =
+                distance_sum(inputs, layout, inputs.front) / inputs.front.len().max(1) as f64;
+            let extended_term = if inputs.extended.is_empty() {
+                0.0
+            } else {
+                inputs.weight * distance_sum(inputs, layout, inputs.extended)
+                    / inputs.extended.len() as f64
+            };
+            let base = front_term + extended_term;
+            if inputs.kind == HeuristicKind::Decay {
+                decay[a.index()].max(decay[b.index()]) * base
+            } else {
+                base
+            }
+        }
+    };
+    layout.swap_physical(a, b); // restore π
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_topology::CouplingGraph;
+
+    /// Line 0-1-2-3 with one blocked gate CX(q0, q3).
+    fn line_fixture() -> (Circuit, CouplingGraph, WeightedDistanceMatrix) {
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(3));
+        let g = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = WeightedDistanceMatrix::hops(&g);
+        (c, g, d)
+    }
+
+    #[test]
+    fn basic_score_is_front_distance_after_swap() {
+        let (c, _g, d) = line_fixture();
+        let inputs = HeuristicInputs {
+            dist: &d,
+            circuit: &c,
+            front: &[0],
+            extended: &[],
+            weight: 0.5,
+            kind: HeuristicKind::Basic,
+        };
+        let mut layout = Layout::identity(4);
+        let decay = vec![1.0; 4];
+        // SWAP(Q0,Q1) moves q0 to Q1: distance to q3 on Q3 becomes 2.
+        let toward = score_swap(&inputs, &mut layout, &decay, (Qubit(0), Qubit(1)));
+        assert_eq!(toward, 2.0);
+        // SWAP(Q2,Q3) moves q3 to Q2: also distance 2.
+        let other_end = score_swap(&inputs, &mut layout, &decay, (Qubit(2), Qubit(3)));
+        assert_eq!(other_end, 2.0);
+        // SWAP(Q1,Q2) touches neither endpoint: distance stays 3.
+        let useless = score_swap(&inputs, &mut layout, &decay, (Qubit(1), Qubit(2)));
+        assert_eq!(useless, 3.0);
+    }
+
+    #[test]
+    fn layout_is_restored_after_scoring() {
+        let (c, _g, d) = line_fixture();
+        let inputs = HeuristicInputs {
+            dist: &d,
+            circuit: &c,
+            front: &[0],
+            extended: &[],
+            weight: 0.5,
+            kind: HeuristicKind::Basic,
+        };
+        let mut layout = Layout::identity(4);
+        let before = layout.clone();
+        let decay = vec![1.0; 4];
+        let _ = score_swap(&inputs, &mut layout, &decay, (Qubit(1), Qubit(2)));
+        assert_eq!(layout, before);
+    }
+
+    #[test]
+    fn lookahead_prefers_swaps_helping_future_gates() {
+        // Front: CX(q0,q2) — both SWAP(Q0,Q1) and SWAP(Q1,Q2) make it
+        // executable. Extended: CX(q1,q3). SWAP(Q1,Q2) moves q1 toward
+        // q3 too... actually moves q1 AWAY? q1 at Q1, q3 at Q3, d=2. After
+        // SWAP(Q1,Q2): q1 at Q2, distance to Q3 = 1 — helps. After
+        // SWAP(Q0,Q1): q1 at Q0, distance 3 — hurts.
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(2));
+        c.cx(Qubit(1), Qubit(3));
+        let g = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = WeightedDistanceMatrix::hops(&g);
+        let inputs = HeuristicInputs {
+            dist: &d,
+            circuit: &c,
+            front: &[0],
+            extended: &[1],
+            weight: 0.5,
+            kind: HeuristicKind::LookAhead,
+        };
+        let mut layout = Layout::identity(4);
+        let decay = vec![1.0; 4];
+        let helpful = score_swap(&inputs, &mut layout, &decay, (Qubit(1), Qubit(2)));
+        let harmful = score_swap(&inputs, &mut layout, &decay, (Qubit(0), Qubit(1)));
+        assert!(
+            helpful < harmful,
+            "look-ahead must break the tie: {helpful} vs {harmful}"
+        );
+    }
+
+    #[test]
+    fn decay_penalizes_recently_swapped_qubits() {
+        let (c, _g, d) = line_fixture();
+        let inputs = HeuristicInputs {
+            dist: &d,
+            circuit: &c,
+            front: &[0],
+            extended: &[],
+            weight: 0.5,
+            kind: HeuristicKind::Decay,
+        };
+        let mut layout = Layout::identity(4);
+        let fresh = vec![1.0; 4];
+        let mut tired = vec![1.0; 4];
+        tired[0] = 1.1; // physical Q0 swapped recently
+        let without = score_swap(&inputs, &mut layout, &fresh, (Qubit(0), Qubit(1)));
+        let with = score_swap(&inputs, &mut layout, &tired, (Qubit(0), Qubit(1)));
+        assert!(with > without);
+        assert!((with / without - 1.1).abs() < 1e-12, "multiplicative decay");
+    }
+
+    #[test]
+    fn decay_uses_max_of_the_two_endpoints() {
+        let (c, _g, d) = line_fixture();
+        let inputs = HeuristicInputs {
+            dist: &d,
+            circuit: &c,
+            front: &[0],
+            extended: &[],
+            weight: 0.5,
+            kind: HeuristicKind::Decay,
+        };
+        let mut layout = Layout::identity(4);
+        let mut decay = vec![1.0; 4];
+        decay[0] = 1.2;
+        decay[1] = 1.05;
+        let score = score_swap(&inputs, &mut layout, &decay, (Qubit(0), Qubit(1)));
+        let base = score_swap(
+            &inputs,
+            &mut layout,
+            &vec![1.0; 4],
+            (Qubit(0), Qubit(1)),
+        );
+        assert!((score / base - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_extended_set_contributes_nothing() {
+        let (c, _g, d) = line_fixture();
+        let mut layout = Layout::identity(4);
+        let decay = vec![1.0; 4];
+        let basic_inputs = HeuristicInputs {
+            dist: &d,
+            circuit: &c,
+            front: &[0],
+            extended: &[],
+            weight: 0.9,
+            kind: HeuristicKind::LookAhead,
+        };
+        // With |F| = 1 the normalized front term equals the basic sum.
+        let look = score_swap(&basic_inputs, &mut layout, &decay, (Qubit(0), Qubit(1)));
+        assert_eq!(look, 2.0);
+    }
+}

@@ -1,0 +1,234 @@
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sabre_circuit::Qubit;
+
+/// The mapping `π` between logical and physical qubits (paper Table I).
+///
+/// A `Layout` is a bijection over `0..N` where `N` is the device size.
+/// Circuits with fewer than `N` logical qubits are padded with *virtual*
+/// logical qubits (`n..N`) that occupy the remaining physical qubits; they
+/// never appear in gates but keep the mapping a bijection, which is what
+/// lets SWAPs be tracked uniformly.
+///
+/// Both directions are stored (`π` and `π⁻¹`), so lookups are `O(1)` and a
+/// SWAP update is four writes — this is the data structure behind the
+/// per-step `O(N)` complexity claimed in §IV-C1.
+///
+/// # Example
+///
+/// ```
+/// use sabre::Layout;
+/// use sabre_circuit::Qubit;
+///
+/// let mut layout = Layout::identity(4);
+/// layout.swap_physical(Qubit(0), Qubit(3));
+/// assert_eq!(layout.phys_of(Qubit(0)), Qubit(3));
+/// assert_eq!(layout.logical_on(Qubit(3)), Qubit(0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// `log_to_phys[q] = Q` — logical `q` currently sits on physical `Q`.
+    log_to_phys: Vec<Qubit>,
+    /// `phys_to_log[Q] = q` — the inverse direction.
+    phys_to_log: Vec<Qubit>,
+}
+
+impl Layout {
+    /// The identity mapping on `n` qubits (`q_i ↦ Q_i`).
+    pub fn identity(n: u32) -> Self {
+        let ids: Vec<Qubit> = (0..n).map(Qubit).collect();
+        Layout {
+            log_to_phys: ids.clone(),
+            phys_to_log: ids,
+        }
+    }
+
+    /// A uniformly random bijection on `n` qubits — the paper's "randomly
+    /// generate an initial mapping as a start point" (§IV-A).
+    pub fn random(n: u32, rng: &mut StdRng) -> Self {
+        let mut perm: Vec<Qubit> = (0..n).map(Qubit).collect();
+        // Fisher–Yates.
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        Layout::from_logical_to_physical(perm).expect("shuffled identity is a bijection")
+    }
+
+    /// Builds a layout from the `logical → physical` direction.
+    ///
+    /// Returns `None` if `mapping` is not a bijection over `0..len`.
+    pub fn from_logical_to_physical(mapping: Vec<Qubit>) -> Option<Self> {
+        let n = mapping.len();
+        let mut inverse = vec![Qubit(u32::MAX); n];
+        for (logical, &phys) in mapping.iter().enumerate() {
+            if phys.index() >= n || inverse[phys.index()] != Qubit(u32::MAX) {
+                return None;
+            }
+            inverse[phys.index()] = Qubit(logical as u32);
+        }
+        Some(Layout {
+            log_to_phys: mapping,
+            phys_to_log: inverse,
+        })
+    }
+
+    /// Number of qubits covered (the device size `N`).
+    pub fn len(&self) -> usize {
+        self.log_to_phys.len()
+    }
+
+    /// Whether the layout is empty (zero-qubit device).
+    pub fn is_empty(&self) -> bool {
+        self.log_to_phys.is_empty()
+    }
+
+    /// `π(q)`: the physical qubit currently holding logical `q`.
+    #[inline]
+    pub fn phys_of(&self, logical: Qubit) -> Qubit {
+        self.log_to_phys[logical.index()]
+    }
+
+    /// `π⁻¹(Q)`: the logical qubit currently on physical `Q`.
+    #[inline]
+    pub fn logical_on(&self, phys: Qubit) -> Qubit {
+        self.phys_to_log[phys.index()]
+    }
+
+    /// The full `logical → physical` table.
+    pub fn logical_to_physical(&self) -> &[Qubit] {
+        &self.log_to_phys
+    }
+
+    /// The full `physical → logical` table.
+    pub fn physical_to_logical(&self) -> &[Qubit] {
+        &self.phys_to_log
+    }
+
+    /// Applies a SWAP on two **physical** qubits: the logical qubits living
+    /// there exchange places. This is the layout update of Algorithm 1's
+    /// `π = π.update(SWAP)`.
+    #[inline]
+    pub fn swap_physical(&mut self, a: Qubit, b: Qubit) {
+        debug_assert_ne!(a, b, "swap endpoints must differ");
+        let la = self.phys_to_log[a.index()];
+        let lb = self.phys_to_log[b.index()];
+        self.phys_to_log.swap(a.index(), b.index());
+        self.log_to_phys.swap(la.index(), lb.index());
+    }
+
+    /// Checks internal consistency (`π⁻¹ ∘ π = id`); tests and debug
+    /// assertions use this.
+    pub fn is_consistent(&self) -> bool {
+        self.log_to_phys.len() == self.phys_to_log.len()
+            && self
+                .log_to_phys
+                .iter()
+                .enumerate()
+                .all(|(q, &p)| {
+                    p.index() < self.phys_to_log.len()
+                        && self.phys_to_log[p.index()] == Qubit(q as u32)
+                })
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (q, p) in self.log_to_phys.iter().enumerate() {
+            if q > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{q}↦Q{}", p.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_maps_each_to_itself() {
+        let l = Layout::identity(5);
+        for q in 0..5u32 {
+            assert_eq!(l.phys_of(Qubit(q)), Qubit(q));
+            assert_eq!(l.logical_on(Qubit(q)), Qubit(q));
+        }
+        assert!(l.is_consistent());
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn swap_physical_updates_both_directions() {
+        let mut l = Layout::identity(4);
+        l.swap_physical(Qubit(1), Qubit(2));
+        assert_eq!(l.phys_of(Qubit(1)), Qubit(2));
+        assert_eq!(l.phys_of(Qubit(2)), Qubit(1));
+        assert_eq!(l.logical_on(Qubit(1)), Qubit(2));
+        assert_eq!(l.logical_on(Qubit(2)), Qubit(1));
+        assert!(l.is_consistent());
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let mut l = Layout::identity(6);
+        l.swap_physical(Qubit(0), Qubit(5));
+        l.swap_physical(Qubit(0), Qubit(5));
+        assert_eq!(l, Layout::identity(6));
+    }
+
+    #[test]
+    fn swap_sequence_tracks_figure3_example() {
+        // Paper §III-A: after SWAP on q1,q2 the mapping becomes
+        // {q1↦Q2, q2↦Q1, q3↦Q3, q4↦Q4} (0-indexed here).
+        let mut l = Layout::identity(4);
+        // SWAP acts on the physical qubits where q0,q1 live: Q0,Q1.
+        l.swap_physical(l.phys_of(Qubit(0)), l.phys_of(Qubit(1)));
+        assert_eq!(l.phys_of(Qubit(0)), Qubit(1));
+        assert_eq!(l.phys_of(Qubit(1)), Qubit(0));
+        assert_eq!(l.phys_of(Qubit(2)), Qubit(2));
+        assert_eq!(l.phys_of(Qubit(3)), Qubit(3));
+    }
+
+    #[test]
+    fn random_layout_is_bijection() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let l = Layout::random(10, &mut rng);
+            assert!(l.is_consistent());
+        }
+    }
+
+    #[test]
+    fn random_layouts_differ_across_draws() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Layout::random(10, &mut rng);
+        let b = Layout::random(10, &mut rng);
+        assert_ne!(a, b, "astronomically unlikely to collide");
+    }
+
+    #[test]
+    fn from_logical_rejects_non_bijection() {
+        assert!(Layout::from_logical_to_physical(vec![Qubit(0), Qubit(0)]).is_none());
+        assert!(Layout::from_logical_to_physical(vec![Qubit(0), Qubit(5)]).is_none());
+        assert!(Layout::from_logical_to_physical(vec![Qubit(1), Qubit(0)]).is_some());
+    }
+
+    #[test]
+    fn display_shows_mapping() {
+        let l = Layout::identity(2);
+        assert_eq!(l.to_string(), "{q0↦Q0, q1↦Q1}");
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = Layout::identity(0);
+        assert!(l.is_empty());
+        assert!(l.is_consistent());
+    }
+}

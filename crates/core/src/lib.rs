@@ -1,0 +1,65 @@
+//! # SABRE — SWAP-based BidiREctional heuristic search
+//!
+//! This crate is the paper's primary contribution: a solver for the
+//! **qubit mapping problem** ("Tackling the Qubit Mapping Problem for
+//! NISQ-Era Quantum Devices", Li, Ding & Xie, ASPLOS 2019). Given a logical
+//! circuit and a device coupling graph it finds
+//!
+//! 1. an **initial mapping** of logical to physical qubits, and
+//! 2. a sequence of inserted **SWAP gates** making every two-qubit gate act
+//!    on coupled physical qubits,
+//!
+//! while minimizing added gates and depth.
+//!
+//! The three design decisions of paper §IV-C are all here:
+//!
+//! - **SWAP-based search** ([`router`]): each search step scores only the
+//!   SWAPs touching a front-layer qubit — `O(N)` candidates instead of the
+//!   `O(exp(N))` whole-mapping space of the best known algorithm.
+//! - **Reverse traversal** ([`SabreRouter::route`]): forward → backward →
+//!   forward passes propagate final mappings back as initial mappings, so
+//!   the reported pass starts from a placement that has seen the entire
+//!   circuit.
+//! - **Decay-based parallelism control** ([`SabreConfig::decay_delta`]):
+//!   recently swapped qubits are de-prioritized, spreading SWAPs across
+//!   disjoint qubit pairs and trading gate count against depth (paper
+//!   Figure 8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sabre::{SabreConfig, SabreRouter};
+//! use sabre_benchgen::qft;
+//! use sabre_topology::devices;
+//!
+//! let tokyo = devices::ibm_q20_tokyo();
+//! let router = SabreRouter::new(tokyo.graph().clone(), SabreConfig::default())?;
+//! let result = router.route(&qft::qft(5))?;
+//! // Every two-qubit gate of the output acts on coupled physical qubits.
+//! for gate in result.best.physical.gates() {
+//!     if let (a, Some(b)) = gate.qubits() {
+//!         assert!(tokyo.graph().are_coupled(a, b));
+//!     }
+//! }
+//! # Ok::<(), sabre::RouteError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod direction;
+mod error;
+mod heuristic;
+mod layout;
+mod result;
+pub mod router;
+mod sabre;
+pub mod transpile;
+
+pub use config::{HeuristicKind, SabreConfig};
+pub use error::RouteError;
+pub use layout::Layout;
+pub use result::{RoutedCircuit, SabreResult, TraversalReport};
+pub use sabre::SabreRouter;
+pub use transpile::{transpile, TranspileOptions, TranspileOutput};

@@ -1,0 +1,178 @@
+use std::fmt;
+use std::time::Duration;
+
+use sabre_circuit::Circuit;
+
+use crate::Layout;
+
+/// The output of routing one circuit: a hardware-compliant physical
+/// circuit plus the mappings relating it to the logical input.
+///
+/// The `physical` circuit keeps inserted SWAPs as explicit `SWAP` gates;
+/// use [`RoutedCircuit::decomposed`] for the paper's cost model where one
+/// SWAP is three CNOTs (Figure 3a).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutedCircuit {
+    /// The transformed circuit over **physical** wires (the device size),
+    /// with SWAPs left as single gates.
+    pub physical: Circuit,
+    /// `π₀`: where each logical qubit starts (index = logical, value =
+    /// physical).
+    pub initial_layout: Layout,
+    /// `π_f`: where each logical qubit ends after all inserted SWAPs.
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub num_swaps: usize,
+    /// Search steps taken (SWAP selections, Algorithm 1 iterations that
+    /// scored candidates).
+    pub search_steps: usize,
+    /// How often the livelock guard forced a shortest-path routing; 0 on
+    /// every benchmark configuration (tests assert this).
+    pub forced_routings: usize,
+}
+
+impl RoutedCircuit {
+    /// Additional gates in the paper's accounting: `3 × num_swaps`.
+    pub fn added_gates(&self) -> usize {
+        3 * self.num_swaps
+    }
+
+    /// The physical circuit with each SWAP expanded into 3 CNOTs — the
+    /// elementary-gate-set form whose size and depth Table II reports.
+    pub fn decomposed(&self) -> Circuit {
+        self.physical.with_swaps_decomposed()
+    }
+
+    /// Total gates after SWAP decomposition (`g_tot = g_ori + g_add`).
+    pub fn total_gates(&self) -> usize {
+        self.physical.num_gates() + 2 * self.num_swaps
+    }
+
+    /// Depth of the decomposed circuit (`d` of the output).
+    pub fn depth(&self) -> usize {
+        self.decomposed().depth()
+    }
+}
+
+impl fmt::Display for RoutedCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routed `{}`: {} swaps (+{} gates), depth {}",
+            self.physical.name(),
+            self.num_swaps,
+            self.added_gates(),
+            self.depth()
+        )
+    }
+}
+
+/// What one traversal of one restart produced (for reporting `g_la` vs
+/// `g_op`-style numbers and the scalability study).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraversalReport {
+    /// Restart index (0-based).
+    pub restart: usize,
+    /// Traversal index within the restart (0 = first forward pass).
+    pub traversal: usize,
+    /// Whether this traversal ran the reversed circuit.
+    pub reversed: bool,
+    /// SWAPs inserted during this traversal.
+    pub num_swaps: usize,
+}
+
+/// Complete result of [`SabreRouter::route`]: the best routed circuit over
+/// all restarts plus per-traversal telemetry.
+///
+/// [`SabreRouter::route`]: crate::SabreRouter::route
+#[derive(Clone, Debug)]
+pub struct SabreResult {
+    /// The best routing found (fewest added gates, ties broken by depth).
+    pub best: RoutedCircuit,
+    /// Which restart produced `best`.
+    pub best_restart: usize,
+    /// SWAP counts for every traversal of every restart.
+    pub traversals: Vec<TraversalReport>,
+    /// `g_la`-style metric: added gates of the best *first* traversal
+    /// (look-ahead heuristic with a random initial mapping, before any
+    /// reverse-traversal improvement).
+    pub first_traversal_added_gates: usize,
+    /// Wall-clock time of the whole routing call.
+    pub elapsed: Duration,
+}
+
+impl SabreResult {
+    /// Added gates of the final result (`g_op` when run with the paper's
+    /// 3-traversal configuration).
+    pub fn added_gates(&self) -> usize {
+        self.best.added_gates()
+    }
+}
+
+impl fmt::Display for SabreResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (best of {} restarts, {:.3}s)",
+            self.best,
+            self.traversals
+                .iter()
+                .map(|t| t.restart)
+                .max()
+                .map_or(1, |m| m + 1),
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::Qubit;
+
+    fn sample_routed() -> RoutedCircuit {
+        let mut physical = Circuit::with_name(3, "t");
+        physical.cx(Qubit(0), Qubit(1));
+        physical.swap(Qubit(1), Qubit(2));
+        physical.cx(Qubit(0), Qubit(1));
+        RoutedCircuit {
+            physical,
+            initial_layout: Layout::identity(3),
+            final_layout: {
+                let mut l = Layout::identity(3);
+                l.swap_physical(Qubit(1), Qubit(2));
+                l
+            },
+            num_swaps: 1,
+            search_steps: 1,
+            forced_routings: 0,
+        }
+    }
+
+    #[test]
+    fn added_gates_is_three_per_swap() {
+        assert_eq!(sample_routed().added_gates(), 3);
+    }
+
+    #[test]
+    fn total_gates_counts_decomposed_swaps() {
+        let r = sample_routed();
+        assert_eq!(r.total_gates(), 2 + 3);
+        assert_eq!(r.decomposed().num_gates(), r.total_gates());
+        assert_eq!(r.decomposed().num_swaps(), 0);
+    }
+
+    #[test]
+    fn depth_uses_decomposed_form() {
+        let r = sample_routed();
+        // cx(0,1); [cx(1,2) cx(2,1) cx(1,2)]; cx(0,1) → depth 5 on wires.
+        assert_eq!(r.depth(), 5);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let text = sample_routed().to_string();
+        assert!(text.contains("1 swaps"));
+        assert!(text.contains("+3 gates"));
+    }
+}

@@ -1,0 +1,459 @@
+//! One traversal of the SWAP-based heuristic search — paper Algorithm 1.
+//!
+//! [`route_pass`] scans a circuit's DAG from the front layer to the end,
+//! executing gates the moment their mapped endpoints are coupled and
+//! otherwise inserting the SWAP that minimizes the heuristic cost
+//! function. The bidirectional driver in [`crate::SabreRouter`] calls this
+//! once per traversal; it is public so downstream users can route with a
+//! fixed initial mapping of their own.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sabre_circuit::{Circuit, DependencyDag, ExecutionFrontier, Qubit};
+use sabre_topology::{CouplingGraph, WeightedDistanceMatrix};
+
+use crate::heuristic::{score_swap, HeuristicInputs};
+use crate::{Layout, RoutedCircuit, SabreConfig};
+
+/// Floating-point slack when collecting equally scored SWAP candidates for
+/// random tie-breaking.
+const SCORE_EPSILON: f64 = 1e-12;
+
+/// Routes `circuit` through one full traversal (Algorithm 1).
+///
+/// `initial_layout` must be a bijection over the device size. The returned
+/// [`RoutedCircuit`] contains the emitted physical circuit, the final
+/// mapping `π_f`, and search telemetry.
+///
+/// # Panics
+///
+/// Panics if the layout size differs from the device size or the circuit
+/// uses more qubits than the device has. The public [`crate::SabreRouter`]
+/// validates these up front and returns errors instead.
+pub fn route_pass(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    dist: &WeightedDistanceMatrix,
+    initial_layout: Layout,
+    config: &SabreConfig,
+    rng: &mut StdRng,
+) -> RoutedCircuit {
+    let n_phys = graph.num_qubits();
+    assert_eq!(
+        initial_layout.len(),
+        n_phys as usize,
+        "layout must cover every physical qubit"
+    );
+    assert!(
+        circuit.num_qubits() <= n_phys,
+        "circuit does not fit on the device"
+    );
+
+    let dag = DependencyDag::new(circuit);
+    let mut frontier = ExecutionFrontier::new(&dag);
+    let mut layout = initial_layout.clone();
+    let mut out = Circuit::with_name(n_phys, circuit.name());
+    let mut decay = vec![1.0f64; n_phys as usize];
+    let mut swaps_since_reset: u32 = 0;
+    let mut swaps_since_progress: usize = 0;
+    let mut num_swaps = 0usize;
+    let mut search_steps = 0usize;
+    let mut forced_routings = 0usize;
+
+    loop {
+        // Execute every gate that is logically ready and physically
+        // executable, repeating until the frontier stalls (the
+        // `Execute_gate_list` loop of Algorithm 1).
+        loop {
+            let mut executed_any = false;
+            let ready: Vec<usize> = frontier.ready().to_vec();
+            for idx in ready {
+                let gate = &circuit.gates()[idx];
+                match gate.qubits() {
+                    // Single-qubit gates never block: emit on the wire the
+                    // logical qubit currently occupies (§IV-A).
+                    (_q, None) => {
+                        out.push(gate.map_qubits(|l| layout.phys_of(l)));
+                        frontier.mark_executed(&dag, idx);
+                        executed_any = true;
+                    }
+                    (a, Some(b)) => {
+                        let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
+                        if graph.are_coupled(pa, pb) {
+                            out.push(gate.map_qubits(|l| layout.phys_of(l)));
+                            frontier.mark_executed(&dag, idx);
+                            executed_any = true;
+                            // Paper §V: decay resets after a CNOT executes.
+                            reset_decay(&mut decay);
+                            swaps_since_reset = 0;
+                            swaps_since_progress = 0;
+                        }
+                    }
+                }
+            }
+            if !executed_any {
+                break;
+            }
+        }
+        if frontier.is_complete() {
+            break;
+        }
+
+        // Front layer F: the ready-but-blocked two-qubit gates.
+        let front: Vec<usize> = frontier
+            .ready()
+            .iter()
+            .copied()
+            .filter(|&i| circuit.gates()[i].is_two_qubit())
+            .collect();
+        debug_assert!(
+            !front.is_empty(),
+            "stalled frontier must contain a blocked two-qubit gate"
+        );
+
+        // Livelock guard (never fires with the paper configuration; see
+        // DESIGN.md implementation notes).
+        let limit = 3 * n_phys as usize + config.livelock_slack;
+        if swaps_since_progress >= limit {
+            forced_routings += 1;
+            num_swaps += force_route(
+                circuit, graph, &mut layout, &mut out, front[0],
+            );
+            swaps_since_progress = 0;
+            continue;
+        }
+
+        let extended = dag.extended_set(circuit, &front, config.extended_set_size);
+        let candidates = swap_candidates(circuit, graph, &layout, &front);
+        debug_assert!(!candidates.is_empty(), "connected device always has candidates");
+
+        let inputs = HeuristicInputs {
+            dist,
+            circuit,
+            front: &front,
+            extended: &extended,
+            weight: config.extended_set_weight,
+            kind: config.heuristic,
+        };
+        let mut best_score = f64::INFINITY;
+        let mut best: Vec<(Qubit, Qubit)> = Vec::new();
+        for &swap in &candidates {
+            let score = score_swap(&inputs, &mut layout, &decay, swap);
+            if score < best_score - SCORE_EPSILON {
+                best_score = score;
+                best.clear();
+                best.push(swap);
+            } else if (score - best_score).abs() <= SCORE_EPSILON {
+                best.push(swap);
+            }
+        }
+        let (sa, sb) = best[rng.gen_range(0..best.len())];
+
+        // Commit: emit the SWAP, update π, bump decay.
+        out.swap(sa, sb);
+        layout.swap_physical(sa, sb);
+        num_swaps += 1;
+        search_steps += 1;
+        swaps_since_progress += 1;
+        decay[sa.index()] += config.decay_delta;
+        decay[sb.index()] += config.decay_delta;
+        swaps_since_reset += 1;
+        if swaps_since_reset >= config.decay_reset_interval {
+            reset_decay(&mut decay);
+            swaps_since_reset = 0;
+        }
+    }
+
+    debug_assert!(layout.is_consistent());
+    RoutedCircuit {
+        physical: out,
+        initial_layout,
+        final_layout: layout,
+        num_swaps,
+        search_steps,
+        forced_routings,
+    }
+}
+
+/// The paper's reduced search space (§IV-C1): only SWAPs on coupling-graph
+/// edges with at least one endpoint hosting a front-layer logical qubit.
+/// "Any SWAPs inside [the] low priority qubit set cannot help with
+/// resolving dependencies in the front layer."
+fn swap_candidates(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    layout: &Layout,
+    front: &[usize],
+) -> Vec<(Qubit, Qubit)> {
+    let mut candidates: Vec<(Qubit, Qubit)> = Vec::new();
+    for &idx in front {
+        let (a, b) = circuit.gates()[idx].qubits();
+        let b = b.expect("front layer holds two-qubit gates");
+        for logical in [a, b] {
+            let phys = layout.phys_of(logical);
+            for &nb in graph.neighbors(phys) {
+                let edge = if phys < nb { (phys, nb) } else { (nb, phys) };
+                if !candidates.contains(&edge) {
+                    candidates.push(edge);
+                }
+            }
+        }
+    }
+    candidates
+}
+
+/// Fallback progress guarantee: walk the first blocked gate's control
+/// along a shortest path until adjacent to its target. Returns the number
+/// of SWAPs inserted.
+fn force_route(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    layout: &mut Layout,
+    out: &mut Circuit,
+    gate_idx: usize,
+) -> usize {
+    let (a, b) = circuit.gates()[gate_idx].qubits();
+    let b = b.expect("forced gate is two-qubit");
+    let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
+    let path = graph
+        .shortest_path(pa, pb)
+        .expect("router requires a connected device");
+    // Move the qubit at `pa` down the path until one hop from `pb`.
+    let mut inserted = 0;
+    for window in path.windows(2).take(path.len().saturating_sub(2)) {
+        out.swap(window[0], window[1]);
+        layout.swap_physical(window[0], window[1]);
+        inserted += 1;
+    }
+    inserted
+}
+
+fn reset_decay(decay: &mut [f64]) {
+    for d in decay.iter_mut() {
+        *d = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sabre_topology::devices;
+
+    fn route_identity(
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        config: &SabreConfig,
+    ) -> RoutedCircuit {
+        let dist = WeightedDistanceMatrix::hops(graph);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        route_pass(
+            circuit,
+            graph,
+            &dist,
+            Layout::identity(graph.num_qubits()),
+            config,
+            &mut rng,
+        )
+    }
+
+    /// Every two-qubit gate of the output must act on coupled qubits.
+    fn assert_compliant(routed: &Circuit, graph: &CouplingGraph) {
+        for gate in routed {
+            if let (a, Some(b)) = gate.qubits() {
+                assert!(
+                    graph.are_coupled(a, b),
+                    "gate {gate} on uncoupled pair"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn already_executable_circuit_needs_no_swaps() {
+        let g = devices::linear(4);
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(2), Qubit(3));
+        let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+        assert_eq!(r.num_swaps, 0);
+        assert_eq!(r.physical.num_gates(), 3);
+        assert_eq!(r.final_layout, Layout::identity(4));
+    }
+
+    #[test]
+    fn figure3_example_needs_one_swap() {
+        // Paper Figure 3: square device, 6-CNOT circuit, identity start.
+        // One SWAP suffices (the paper inserts SWAP q1,q2).
+        let g = CouplingGraph::from_edges(4, [(0, 1), (1, 3), (3, 2), (2, 0)]).unwrap();
+        let (q1, q2, q3, q4) = (Qubit(0), Qubit(1), Qubit(2), Qubit(3));
+        let mut c = Circuit::new(4);
+        c.cx(q1, q2);
+        c.cx(q3, q4);
+        c.cx(q2, q4);
+        c.cx(q2, q3);
+        c.cx(q3, q4);
+        c.cx(q1, q4);
+        let r = route_identity(&c, &g, &SabreConfig::fast());
+        assert_compliant(&r.physical, &g);
+        assert_eq!(r.num_swaps, 1, "paper achieves this with exactly one SWAP");
+        assert_eq!(r.added_gates(), 3);
+        assert_eq!(r.decomposed().num_gates(), 9);
+    }
+
+    #[test]
+    fn distant_pair_on_line_gets_routed() {
+        let g = devices::linear(5);
+        let mut c = Circuit::new(5);
+        c.cx(Qubit(0), Qubit(4));
+        let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+        assert_compliant(&r.physical, g.graph());
+        // Distance 4 ⇒ 3 SWAPs needed; heuristic must find that minimum on
+        // a line (every useful SWAP reduces distance by exactly 1).
+        assert_eq!(r.num_swaps, 3);
+    }
+
+    #[test]
+    fn single_qubit_gates_ride_along() {
+        let g = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(2));
+        c.h(Qubit(0));
+        let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+        assert_compliant(&r.physical, g.graph());
+        assert_eq!(r.physical.num_one_qubit_gates(), 2);
+        // The trailing H must act wherever logical q0 ended up.
+        let last = r.physical.gates().last().unwrap();
+        assert_eq!(last.qubits().0, r.final_layout.phys_of(Qubit(0)));
+    }
+
+    #[test]
+    fn gate_counts_obey_conservation() {
+        let g = devices::ibm_q20_tokyo();
+        let c = sabre_circuit_test_fixture(12, 80);
+        let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+        assert_compliant(&r.physical, g.graph());
+        assert_eq!(
+            r.physical.num_gates(),
+            c.num_gates() + r.num_swaps,
+            "output = input gates + swaps"
+        );
+        assert_eq!(r.total_gates(), c.num_gates() + 3 * r.num_swaps);
+    }
+
+    /// Deterministic mixed circuit without pulling in benchgen (dev-dep
+    /// cycles): a braided CX pattern over `n` wires.
+    fn sabre_circuit_test_fixture(n: u32, rounds: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for r in 0..rounds {
+            let a = (r as u32 * 5 + 3) % n;
+            let b = (r as u32 * 7 + 1) % n;
+            if a != b {
+                c.cx(Qubit(a), Qubit(b));
+            }
+            c.h(Qubit((r as u32) % n));
+        }
+        c
+    }
+
+    #[test]
+    fn final_layout_tracks_swaps() {
+        let g = devices::linear(5);
+        let mut c = Circuit::new(5);
+        c.cx(Qubit(0), Qubit(4));
+        let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+        // Replay the emitted SWAPs over the initial layout: must equal the
+        // reported final layout.
+        let mut replay = r.initial_layout.clone();
+        for gate in r.physical.gates() {
+            if gate.is_swap() {
+                let (a, b) = gate.qubits();
+                replay.swap_physical(a, b.unwrap());
+            }
+        }
+        assert_eq!(replay, r.final_layout);
+    }
+
+    #[test]
+    fn respects_nontrivial_initial_layout() {
+        let g = devices::linear(3);
+        let dist = WeightedDistanceMatrix::hops(g.graph());
+        // q0 on Q2, q1 on Q1: CX(q0,q1) is executable immediately.
+        let layout = Layout::from_logical_to_physical(vec![Qubit(2), Qubit(1), Qubit(0)])
+            .unwrap();
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = route_pass(&c, g.graph(), &dist, layout, &SabreConfig::fast(), &mut rng);
+        assert_eq!(r.num_swaps, 0);
+        assert_eq!(r.physical.gates()[0].qubits(), (Qubit(2), Some(Qubit(1))));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = devices::ibm_q20_tokyo();
+        let c = sabre_circuit_test_fixture(10, 60);
+        let a = route_identity(&c, g.graph(), &SabreConfig::fast());
+        let b = route_identity(&c, g.graph(), &SabreConfig::fast());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_circuit_routes_to_empty() {
+        let g = devices::linear(3);
+        let c = Circuit::new(3);
+        let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+        assert!(r.physical.is_empty());
+        assert_eq!(r.num_swaps, 0);
+    }
+
+    #[test]
+    fn works_on_star_topology() {
+        // Star stresses decay: all routes go through the hub.
+        let g = devices::star(6);
+        let mut c = Circuit::new(6);
+        for i in 1..5 {
+            c.cx(Qubit(i), Qubit(i + 1)); // leaf-to-leaf gates need the hub
+        }
+        let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+        assert_compliant(&r.physical, g.graph());
+        assert_eq!(r.forced_routings, 0);
+    }
+
+    #[test]
+    fn basic_heuristic_also_terminates() {
+        let g = devices::ibm_q20_tokyo();
+        let c = sabre_circuit_test_fixture(15, 120);
+        let r = route_identity(&c, g.graph(), &SabreConfig::basic());
+        assert_compliant(&r.physical, g.graph());
+    }
+
+    #[test]
+    fn no_forced_routings_on_normal_workloads() {
+        let g = devices::ibm_q20_tokyo();
+        for rounds in [20, 60, 150] {
+            let c = sabre_circuit_test_fixture(16, rounds);
+            let r = route_identity(&c, g.graph(), &SabreConfig::fast());
+            assert_eq!(r.forced_routings, 0, "rounds={rounds}");
+        }
+    }
+
+    #[test]
+    fn swap_candidates_touch_front_qubits_only() {
+        let g = devices::ibm_q20_tokyo();
+        let mut c = Circuit::new(20);
+        c.cx(Qubit(0), Qubit(19));
+        let layout = Layout::identity(20);
+        let cands = swap_candidates(&c, g.graph(), &layout, &[0]);
+        for (a, b) in &cands {
+            assert!(
+                *a == Qubit(0) || *b == Qubit(0) || *a == Qubit(19) || *b == Qubit(19),
+                "candidate ({a},{b}) touches neither front qubit"
+            );
+        }
+        // Q0 has degree 2, Q19 has degree 3 on Tokyo; 5 candidate edges.
+        assert_eq!(cands.len(), g.graph().degree(Qubit(0)) + g.graph().degree(Qubit(19)));
+    }
+}

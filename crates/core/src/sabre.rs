@@ -1,0 +1,532 @@
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sabre_circuit::Circuit;
+use sabre_topology::noise::NoiseModel;
+use sabre_topology::{CouplingGraph, DistanceMatrix, WeightedDistanceMatrix};
+
+use crate::router::route_pass;
+use crate::{Layout, RouteError, RoutedCircuit, SabreConfig, SabreResult, TraversalReport};
+
+/// The complete SABRE pipeline: preprocessing, multi-restart
+/// bidirectional traversal, and best-result selection (paper §IV).
+///
+/// Construction performs the preprocessing of §IV-A once (connectivity
+/// check and Floyd–Warshall distance matrix); the router can then route
+/// any number of circuits against the same device.
+///
+/// # Example
+///
+/// ```
+/// use sabre::{SabreConfig, SabreRouter};
+/// use sabre_circuit::{Circuit, Qubit};
+/// use sabre_topology::devices;
+///
+/// let device = devices::ibm_q20_tokyo();
+/// let router = SabreRouter::new(device.graph().clone(), SabreConfig::default())?;
+///
+/// let mut circuit = Circuit::new(4);
+/// circuit.cx(Qubit(0), Qubit(1));
+/// circuit.cx(Qubit(1), Qubit(2));
+/// circuit.cx(Qubit(2), Qubit(3));
+///
+/// let result = router.route(&circuit)?;
+/// assert_eq!(result.added_gates() % 3, 0); // additions come in 3-CNOT SWAPs
+/// # Ok::<(), sabre::RouteError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SabreRouter {
+    graph: CouplingGraph,
+    dist: DistanceMatrix,
+    cost: WeightedDistanceMatrix,
+    config: SabreConfig,
+}
+
+impl SabreRouter {
+    /// Builds a router for `graph` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// - [`RouteError::InvalidConfig`] if the configuration fails
+    ///   [`SabreConfig::validate`].
+    /// - [`RouteError::DisconnectedDevice`] if some physical qubit pairs
+    ///   can never interact.
+    pub fn new(graph: CouplingGraph, config: SabreConfig) -> Result<Self, RouteError> {
+        config
+            .validate()
+            .map_err(|reason| RouteError::InvalidConfig { reason })?;
+        if !graph.is_connected() {
+            return Err(RouteError::DisconnectedDevice);
+        }
+        let dist = DistanceMatrix::floyd_warshall(&graph);
+        let cost = WeightedDistanceMatrix::hops(&graph);
+        Ok(SabreRouter {
+            graph,
+            dist,
+            cost,
+            config,
+        })
+    }
+
+    /// Builds a **noise-aware** router (the §VI "More Precise Hardware
+    /// Modeling" extension): the heuristic distance between two physical
+    /// qubits becomes the cheapest log-domain SWAP-fidelity path under
+    /// `noise`, so the search prefers routes through reliable couplers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SabreRouter::new`].
+    pub fn with_noise(
+        graph: CouplingGraph,
+        config: SabreConfig,
+        noise: &NoiseModel,
+    ) -> Result<Self, RouteError> {
+        let mut router = SabreRouter::new(graph, config)?;
+        // Normalize so costs stay comparable to hop counts: divide by the
+        // smallest edge cost (best coupler ≈ 1 hop).
+        let min_cost = router
+            .graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| noise.swap_cost(a, b))
+            .fold(f64::INFINITY, f64::min)
+            .max(f64::MIN_POSITIVE);
+        router.cost = WeightedDistanceMatrix::floyd_warshall(&router.graph, |a, b| {
+            noise.swap_cost(a, b) / min_cost
+        });
+        Ok(router)
+    }
+
+    /// The device coupling graph.
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// The precomputed distance matrix `D`.
+    pub fn distance_matrix(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SabreConfig {
+        &self.config
+    }
+
+    /// Routes `circuit` with the full SABRE pipeline: for each of
+    /// `num_restarts` random initial mappings, run `num_traversals`
+    /// alternating forward/backward passes (final mappings seeding the next
+    /// pass — the reverse traversal of §IV-C2) and keep the best final
+    /// forward pass across restarts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::DeviceTooSmall`] if the circuit has more
+    /// logical qubits than the device has physical qubits.
+    pub fn route(&self, circuit: &Circuit) -> Result<SabreResult, RouteError> {
+        let n_phys = self.graph.num_qubits();
+        if circuit.num_qubits() > n_phys {
+            return Err(RouteError::DeviceTooSmall {
+                required: circuit.num_qubits(),
+                available: n_phys,
+            });
+        }
+        let start = Instant::now();
+        let reversed = circuit.reversed();
+
+        let mut best: Option<RoutedCircuit> = None;
+        let mut best_restart = 0usize;
+        let mut traversals = Vec::with_capacity(self.config.num_restarts * self.config.num_traversals);
+        let mut first_traversal_swaps_best: Option<usize> = None;
+
+        for restart in 0..self.config.num_restarts {
+            // Distinct, deterministic stream per restart.
+            let mut rng = StdRng::seed_from_u64(
+                self.config
+                    .seed
+                    .wrapping_add((restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let mut layout = Layout::random(n_phys, &mut rng);
+            let mut last_pass: Option<RoutedCircuit> = None;
+
+            for traversal in 0..self.config.num_traversals {
+                let is_reverse = traversal % 2 == 1;
+                let target = if is_reverse { &reversed } else { circuit };
+                let pass = route_pass(
+                    target,
+                    &self.graph,
+                    &self.cost,
+                    layout,
+                    &self.config,
+                    &mut rng,
+                );
+                layout = pass.final_layout.clone();
+                traversals.push(TraversalReport {
+                    restart,
+                    traversal,
+                    reversed: is_reverse,
+                    num_swaps: pass.num_swaps,
+                });
+                if traversal == 0 {
+                    first_traversal_swaps_best = Some(match first_traversal_swaps_best {
+                        Some(prev) => prev.min(pass.num_swaps),
+                        None => pass.num_swaps,
+                    });
+                }
+                // Every *forward* pass yields a valid routing of the
+                // original circuit; keep whichever is best. (The reverse
+                // traversal usually improves the final pass, but on very
+                // long circuits an earlier pass can occasionally win — a
+                // production router should never return the worse one.)
+                if !is_reverse && is_better(&pass, last_pass.as_ref()) {
+                    last_pass = Some(pass);
+                }
+            }
+
+            let candidate = last_pass.expect("traversal count is odd");
+            if is_better(&candidate, best.as_ref()) {
+                best = Some(candidate);
+                best_restart = restart;
+            }
+        }
+
+        Ok(SabreResult {
+            best: best.expect("at least one restart configured"),
+            best_restart,
+            traversals,
+            first_traversal_added_gates: 3 * first_traversal_swaps_best.unwrap_or(0),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Computes a high-quality **initial layout only** — the placement
+    /// side of SABRE, analogous to Qiskit's `SabreLayout` pass. Runs the
+    /// same multi-restart bidirectional traversals as [`SabreRouter::route`]
+    /// but returns just the initial mapping of the best restart, for users
+    /// who feed placements into their own routing or scheduling stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::DeviceTooSmall`] if the circuit does not fit.
+    pub fn compute_initial_layout(&self, circuit: &Circuit) -> Result<Layout, RouteError> {
+        let result = self.route(circuit)?;
+        Ok(result.best.initial_layout)
+    }
+
+    /// Routes with a caller-supplied initial mapping and a single forward
+    /// pass — no restarts, no reverse traversal. Useful when a placement
+    /// is already known (e.g. from [`sabre_topology::embedding`]) and for
+    /// ablation studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::DeviceTooSmall`] if the circuit does not fit,
+    /// or [`RouteError::InvalidConfig`] if `initial_layout` does not cover
+    /// the device.
+    pub fn route_with_layout(
+        &self,
+        circuit: &Circuit,
+        initial_layout: Layout,
+    ) -> Result<RoutedCircuit, RouteError> {
+        let n_phys = self.graph.num_qubits();
+        if circuit.num_qubits() > n_phys {
+            return Err(RouteError::DeviceTooSmall {
+                required: circuit.num_qubits(),
+                available: n_phys,
+            });
+        }
+        if initial_layout.len() != n_phys as usize {
+            return Err(RouteError::InvalidConfig {
+                reason: format!(
+                    "initial layout covers {} qubits, device has {}",
+                    initial_layout.len(),
+                    n_phys
+                ),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        Ok(route_pass(
+            circuit,
+            &self.graph,
+            &self.cost,
+            initial_layout,
+            &self.config,
+            &mut rng,
+        ))
+    }
+}
+
+/// Best = fewest added gates, ties broken by decomposed depth (the paper's
+/// two metrics, in that order).
+fn is_better(candidate: &RoutedCircuit, current: Option<&RoutedCircuit>) -> bool {
+    match current {
+        None => true,
+        Some(best) => {
+            candidate.num_swaps < best.num_swaps
+                || (candidate.num_swaps == best.num_swaps && candidate.depth() < best.depth())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::Qubit;
+    use sabre_topology::devices;
+
+    fn chain_circuit(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n - 1 {
+            c.cx(Qubit(i), Qubit(i + 1));
+        }
+        c
+    }
+
+    #[test]
+    fn rejects_disconnected_device() {
+        let g = CouplingGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            SabreRouter::new(g, SabreConfig::default()).unwrap_err(),
+            RouteError::DisconnectedDevice
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let g = devices::linear(3);
+        let config = SabreConfig {
+            num_traversals: 2,
+            ..SabreConfig::default()
+        };
+        assert!(matches!(
+            SabreRouter::new(g.graph().clone(), config),
+            Err(RouteError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_circuit() {
+        let g = devices::linear(3);
+        let router = SabreRouter::new(g.graph().clone(), SabreConfig::fast()).unwrap();
+        let c = chain_circuit(5);
+        assert_eq!(
+            router.route(&c).unwrap_err(),
+            RouteError::DeviceTooSmall {
+                required: 5,
+                available: 3
+            }
+        );
+    }
+
+    #[test]
+    fn full_pipeline_routes_and_reports() {
+        let device = devices::ibm_q20_tokyo();
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::default()).unwrap();
+        let c = chain_circuit(10);
+        let result = router.route(&c).unwrap();
+        // 5 restarts × 3 traversals.
+        assert_eq!(result.traversals.len(), 15);
+        assert!(result.best_restart < 5);
+        // A chain embeds into Tokyo; with so few gates (9 CX, each pair
+        // once) the heuristic signal is weak, but the pipeline must land
+        // within one SWAP of the optimum. (The repeated-interaction Ising
+        // benchmarks hit exactly 0 — see tests/ising_optimality.rs.)
+        assert!(
+            result.added_gates() <= 3,
+            "chain should need at most one SWAP, got {}",
+            result.added_gates()
+        );
+        assert_eq!(result.best.forced_routings, 0);
+    }
+
+    #[test]
+    fn reverse_traversal_never_hurts_the_reported_result() {
+        // The final result must be at least as good as the best single
+        // forward pass would report (g_op ≤ g_la on every Table II row the
+        // paper shows — here we check our implementation preserves that).
+        let device = devices::ibm_q20_tokyo();
+        let c = {
+            let mut c = Circuit::new(12);
+            for r in 0..60u32 {
+                let a = (r * 5 + 3) % 12;
+                let b = (r * 7 + 1) % 12;
+                if a != b {
+                    c.cx(Qubit(a), Qubit(b));
+                }
+            }
+            c
+        };
+        let full = SabreRouter::new(device.graph().clone(), SabreConfig::default())
+            .unwrap()
+            .route(&c)
+            .unwrap();
+        assert!(
+            full.added_gates() <= full.first_traversal_added_gates,
+            "g_op={} > g_la={}",
+            full.added_gates(),
+            full.first_traversal_added_gates
+        );
+    }
+
+    #[test]
+    fn route_with_layout_uses_given_placement() {
+        let device = devices::linear(4);
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(3));
+        // Place q0 and q3 adjacent up front: no swaps needed.
+        let layout = Layout::from_logical_to_physical(vec![
+            Qubit(1),
+            Qubit(0),
+            Qubit(3),
+            Qubit(2),
+        ])
+        .unwrap();
+        let routed = router.route_with_layout(&c, layout).unwrap();
+        assert_eq!(routed.num_swaps, 0);
+    }
+
+    #[test]
+    fn route_with_layout_rejects_wrong_size() {
+        let device = devices::linear(4);
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        let c = chain_circuit(3);
+        let small = Layout::identity(3);
+        assert!(matches!(
+            router.route_with_layout(&c, small),
+            Err(RouteError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let device = devices::ibm_q20_tokyo();
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::default()).unwrap();
+        let c = chain_circuit(8);
+        let a = router.route(&c).unwrap();
+        let b = router.route(&c).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.traversals, b.traversals);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_compliant() {
+        let device = devices::ibm_q20_tokyo();
+        let c = {
+            let mut c = Circuit::new(10);
+            for r in 0..40u32 {
+                let a = (r * 3 + 1) % 10;
+                let b = (r * 7 + 4) % 10;
+                if a != b {
+                    c.cx(Qubit(a), Qubit(b));
+                }
+            }
+            c
+        };
+        for seed in [1u64, 2, 3] {
+            let config = SabreConfig {
+                seed,
+                ..SabreConfig::fast()
+            };
+            let result = SabreRouter::new(device.graph().clone(), config)
+                .unwrap()
+                .route(&c)
+                .unwrap();
+            for gate in result.best.physical.gates() {
+                if let (a, Some(b)) = gate.qubits() {
+                    assert!(device.graph().are_coupled(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_aware_router_avoids_bad_couplers() {
+        // Ring 0-1-2-3-0; CX(q0,q2) can be resolved by swapping through
+        // Q1 or Q3. Make every edge touching Q1 terrible: the noise-aware
+        // router must route around it, the hop-based one cannot tell.
+        let graph = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let noise = sabre_topology::noise::NoiseModel::uniform(&graph, 0.001, 0.0001)
+            .with_edge_error(Qubit(0), Qubit(1), 0.4)
+            .with_edge_error(Qubit(1), Qubit(2), 0.4);
+        let config = SabreConfig {
+            num_restarts: 1,
+            num_traversals: 1,
+            ..SabreConfig::default()
+        };
+        let router = SabreRouter::with_noise(graph.clone(), config, &noise).unwrap();
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(2));
+        let routed = router
+            .route_with_layout(&c, Layout::identity(4))
+            .unwrap();
+        assert_eq!(routed.num_swaps, 1);
+        for gate in routed.physical.gates() {
+            if gate.is_swap() {
+                let (a, b) = gate.qubits();
+                let b = b.unwrap();
+                assert!(
+                    noise.edge_error(a, b) < 0.1,
+                    "noise-aware router crossed a bad coupler ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_aware_router_still_verifies() {
+        let device = devices::ibm_q20_tokyo();
+        let noise =
+            sabre_topology::noise::NoiseModel::calibrated(device.graph(), 0.02, 4.0, 3);
+        let router =
+            SabreRouter::with_noise(device.graph().clone(), SabreConfig::fast(), &noise)
+                .unwrap();
+        let c = {
+            let mut c = Circuit::new(12);
+            for r in 0..80u32 {
+                let a = (r * 5 + 3) % 12;
+                let b = (r * 7 + 1) % 12;
+                if a != b {
+                    c.cx(Qubit(a), Qubit(b));
+                }
+            }
+            c
+        };
+        let result = router.route(&c).unwrap();
+        for gate in result.best.physical.gates() {
+            if let (a, Some(b)) = gate.qubits() {
+                assert!(device.graph().are_coupled(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn computed_initial_layout_reproduces_best_routing() {
+        let device = devices::ibm_q20_tokyo();
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::paper()).unwrap();
+        let circuit = {
+            let mut c = Circuit::new(10);
+            for i in 0..9 {
+                c.cx(Qubit(i), Qubit(i + 1));
+                c.cx(Qubit(i), Qubit(i + 1));
+            }
+            c
+        };
+        let layout = router.compute_initial_layout(&circuit).unwrap();
+        // Routing again from that layout must cost no more than the full
+        // pipeline found (it is the same placement).
+        let full = router.route(&circuit).unwrap();
+        let single = router.route_with_layout(&circuit, layout).unwrap();
+        assert!(single.num_swaps <= full.best.num_swaps + 1);
+    }
+
+    #[test]
+    fn elapsed_time_is_recorded() {
+        let device = devices::linear(4);
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        let result = router.route(&chain_circuit(4)).unwrap();
+        assert!(result.elapsed.as_nanos() > 0);
+    }
+
+    use sabre_topology::CouplingGraph;
+}

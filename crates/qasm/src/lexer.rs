@@ -1,0 +1,307 @@
+use crate::QasmError;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub column: u32,
+}
+
+/// Token kinds of the OpenQASM 2.0 subset.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword (`qreg`, `h`, `q`, ...).
+    Ident(String),
+    /// Numeric literal (integers and reals lex to the same kind; the
+    /// parser re-validates integrality where required).
+    Number(f64),
+    /// String literal (only used by `include`).
+    Str(String),
+    /// `OPENQASM` keyword (case-sensitive per the grammar).
+    OpenQasm,
+    Semicolon,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Arrow,
+    Eof,
+}
+
+impl TokenKind {
+    /// Short printable form for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Number(v) => format!("number `{v}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::OpenQasm => "`OPENQASM`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Lexes QASM source into tokens. `//` line comments are skipped.
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, QasmError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut column: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                column,
+            });
+            i += $len;
+            column += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                column = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                column += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ';' => push!(TokenKind::Semicolon, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            '[' => push!(TokenKind::LBracket, 1),
+            ']' => push!(TokenKind::RBracket, 1),
+            '{' => push!(TokenKind::LBrace, 1),
+            '}' => push!(TokenKind::RBrace, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    push!(TokenKind::Arrow, 2);
+                } else {
+                    push!(TokenKind::Minus, 1);
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'"' {
+                    if bytes[end] == b'\n' {
+                        return Err(QasmError::new(line, column, "unterminated string literal"));
+                    }
+                    end += 1;
+                }
+                if end == bytes.len() {
+                    return Err(QasmError::new(line, column, "unterminated string literal"));
+                }
+                let s = source[start..end].to_string();
+                let len = end + 1 - i;
+                push!(TokenKind::Str(s), len);
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut end = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_digit() {
+                        end += 1;
+                    } else if b == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        end += 1;
+                    } else if (b == 'e' || b == 'E') && !seen_exp && end > start {
+                        seen_exp = true;
+                        end += 1;
+                        if end < bytes.len() && (bytes[end] == b'+' || bytes[end] == b'-') {
+                            end += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &source[start..end];
+                let value: f64 = text.parse().map_err(|_| {
+                    QasmError::new(line, column, format!("invalid number literal `{text}`"))
+                })?;
+                let len = end - start;
+                push!(TokenKind::Number(value), len);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &source[start..end];
+                let len = end - start;
+                if text == "OPENQASM" {
+                    push!(TokenKind::OpenQasm, len);
+                } else {
+                    push!(TokenKind::Ident(text.to_string()), len);
+                }
+            }
+            other => {
+                return Err(QasmError::new(
+                    line,
+                    column,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_header() {
+        let k = kinds("OPENQASM 2.0;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::OpenQasm,
+                TokenKind::Number(2.0),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_gate_application() {
+        let k = kinds("cx q[0], q[1];");
+        assert_eq!(k[0], TokenKind::Ident("cx".into()));
+        assert_eq!(k[1], TokenKind::Ident("q".into()));
+        assert_eq!(k[2], TokenKind::LBracket);
+        assert_eq!(k[3], TokenKind::Number(0.0));
+        assert_eq!(k[4], TokenKind::RBracket);
+        assert_eq!(k[5], TokenKind::Comma);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let k = kinds("h q[0]; // apply hadamard\nx q[1];");
+        let idents: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["h", "q", "x", "q"]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = lex("h q[0];\nx q[1];").unwrap();
+        let x_tok = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("x".into()))
+            .unwrap();
+        assert_eq!(x_tok.line, 2);
+        assert_eq!(x_tok.column, 1);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("3")[0], TokenKind::Number(3.0));
+        assert_eq!(kinds("3.5")[0], TokenKind::Number(3.5));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Number(1e-3));
+        assert_eq!(kinds("2.5E+2")[0], TokenKind::Number(250.0));
+        assert_eq!(kinds(".5")[0], TokenKind::Number(0.5));
+    }
+
+    #[test]
+    fn lexes_string_literal() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";")[1],
+            TokenKind::Str("qelib1.inc".into())
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("include \"qelib1").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn arrow_and_minus() {
+        assert_eq!(kinds("->")[0], TokenKind::Arrow);
+        assert_eq!(kinds("-")[0], TokenKind::Minus);
+        assert_eq!(
+            kinds("a -> b")[1],
+            TokenKind::Arrow,
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("h q[0]; @").unwrap_err();
+        assert!(err.message().contains('@'));
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn expression_tokens() {
+        let k = kinds("(pi/2 + -0.5*3)");
+        assert!(k.contains(&TokenKind::Ident("pi".into())));
+        assert!(k.contains(&TokenKind::Slash));
+        assert!(k.contains(&TokenKind::Plus));
+        assert!(k.contains(&TokenKind::Minus));
+        assert!(k.contains(&TokenKind::Star));
+    }
+}

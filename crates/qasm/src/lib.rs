@@ -1,0 +1,49 @@
+//! OpenQASM 2.0 front-end for the SABRE reproduction.
+//!
+//! The paper's benchmark suite (§V: IBM QISKit programs, RevLib functions,
+//! Quipper and ScaffCC compilations) ships as OpenQASM 2.0 text. This crate
+//! parses that format into [`sabre_circuit::Circuit`] and serializes
+//! circuits back out, so users can route their own benchmark files.
+//!
+//! Supported subset (everything the paper-era benchmarks use):
+//!
+//! - `OPENQASM 2.0;` header and `include "qelib1.inc";`
+//! - `qreg` / `creg` declarations (multiple registers are flattened in
+//!   declaration order)
+//! - `qelib1` gate applications: `h x y z s sdg t tdg sx id u1 u2 u3 p rx
+//!   ry rz cx cz swap cu1 cp rzz`
+//! - parameter expressions with `pi`, unary minus, `+ - * /` and parentheses
+//! - register broadcast (`h q;` applies H to every wire of `q`)
+//! - `barrier` and `measure` statements are skipped (counted in
+//!   [`ParsedProgram`]): mapping operates on the unitary part of a circuit.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[3];
+//!     h q[0];
+//!     cx q[0], q[1];
+//!     rz(pi/4) q[2];
+//! "#;
+//! let circuit = sabre_qasm::parse(src)?;
+//! assert_eq!(circuit.num_qubits(), 3);
+//! assert_eq!(circuit.num_gates(), 3);
+//! let text = sabre_qasm::to_qasm(&circuit);
+//! assert_eq!(sabre_qasm::parse(&text)?, circuit);
+//! # Ok::<(), sabre_qasm::QasmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lexer;
+mod parser;
+mod writer;
+
+pub use error::QasmError;
+pub use parser::{parse, parse_program, ParsedProgram};
+pub use writer::to_qasm;

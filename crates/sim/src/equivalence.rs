@@ -1,0 +1,297 @@
+//! Unitary equivalence checking by exhaustive basis-state simulation.
+//!
+//! Two circuits implement the same unitary up to global phase iff they act
+//! identically (up to one *shared* phase) on every computational basis
+//! state. For the small benchmarks of the paper's Table II this is cheap
+//! (`2^n` simulations of `2^n` amplitudes) and gives a complete semantic
+//! check of the router — far stronger than gate-count accounting.
+
+use sabre_circuit::{Circuit, Qubit};
+
+use crate::{Complex, StateVector};
+
+/// Outcome of a unitary comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnitaryEquivalence {
+    /// Same unitary up to one global phase.
+    Equivalent,
+    /// The unitaries differ on at least one basis state.
+    Different {
+        /// A basis state index witnessing the difference.
+        witness: usize,
+    },
+}
+
+impl UnitaryEquivalence {
+    /// Whether the comparison succeeded.
+    pub fn is_equivalent(self) -> bool {
+        matches!(self, UnitaryEquivalence::Equivalent)
+    }
+}
+
+/// Compares the unitaries of `a` and `b` up to global phase by simulating
+/// all `2^n` basis states. The registers must match.
+///
+/// The phase is fixed once, from the first basis column with non-negligible
+/// overlap, and then enforced on every column — per-column phase freedom
+/// would wrongly accept diagonal-phase differences.
+///
+/// # Panics
+///
+/// Panics if the circuits have different register sizes, or the register
+/// is larger than [`crate::MAX_QUBITS`].
+pub fn unitaries_equal(a: &Circuit, b: &Circuit, tol: f64) -> UnitaryEquivalence {
+    assert_eq!(
+        a.num_qubits(),
+        b.num_qubits(),
+        "cannot compare circuits over different registers"
+    );
+    let n = a.num_qubits();
+    let dim = 1usize << n;
+    let mut shared_phase: Option<Complex> = None;
+
+    for basis in 0..dim {
+        let col_a = StateVector::basis(n, basis).evolved(a);
+        let col_b = StateVector::basis(n, basis).evolved(b);
+        // ⟨col_a|col_b⟩ must be a unit phase, identical across columns.
+        let overlap = col_a.inner(&col_b);
+        if (overlap.norm() - 1.0).abs() > tol {
+            return UnitaryEquivalence::Different { witness: basis };
+        }
+        match shared_phase {
+            None => shared_phase = Some(overlap),
+            Some(phase) => {
+                if (overlap - phase).norm() > tol {
+                    return UnitaryEquivalence::Different { witness: basis };
+                }
+            }
+        }
+        // Unit overlap guarantees the states match up to that phase only if
+        // both are unit vectors — verify amplitudes directly for rigour.
+        let aligned = col_b.permuted(&identity_perm(n));
+        if !col_a.equal_up_to_global_phase(&aligned, tol.max(1e-9)) {
+            return UnitaryEquivalence::Different { witness: basis };
+        }
+    }
+    UnitaryEquivalence::Equivalent
+}
+
+/// Compares `routed` against `original` accounting for routing artefacts:
+/// `routed` acts on physical wires with logical qubit `q` starting at
+/// physical wire `initial[q]` and finishing at `final_[q]`.
+///
+/// Concretely, checks that
+/// `P_final† · routed · P_initial` equals `original` (up to global phase),
+/// where `P_m` maps logical basis states onto physical ones via `m`.
+///
+/// Registers may differ in size: logical qubits beyond the original
+/// register are required to be untouched ancillas.
+///
+/// # Panics
+///
+/// Panics if the mapping slices do not cover the physical register or the
+/// physical register exceeds [`crate::MAX_QUBITS`].
+pub fn routed_equivalent(
+    original: &Circuit,
+    routed: &Circuit,
+    initial: &[Qubit],
+    final_: &[Qubit],
+    tol: f64,
+) -> UnitaryEquivalence {
+    let n_log = original.num_qubits();
+    let n_phys = routed.num_qubits();
+    assert!(n_log <= n_phys, "device smaller than circuit");
+    assert_eq!(initial.len(), n_phys as usize, "initial mapping must cover all physical wires");
+    assert_eq!(final_.len(), n_phys as usize, "final mapping must cover all physical wires");
+
+    let dim = 1usize << n_log;
+    let mut shared_phase: Option<Complex> = None;
+    for basis in 0..dim {
+        // Embed the logical basis state into the physical register through
+        // the initial layout.
+        let mut phys_basis = 0usize;
+        for q in 0..n_log {
+            if (basis >> q) & 1 == 1 {
+                phys_basis |= 1 << initial[q as usize].index();
+            }
+        }
+        let col_routed = StateVector::basis(n_phys, phys_basis).evolved(routed);
+        // Read back through the final layout.
+        let col_logical = col_routed.permuted(&inverse_perm(final_));
+
+        // Reference: original circuit on the logical register, then padded
+        // to physical size (ancillas stay |0⟩ = low bits of the embedding).
+        let col_ref_small = StateVector::basis(n_log, basis).evolved(original);
+        let col_ref = pad_with_zero_ancillas(&col_ref_small, n_phys);
+
+        let overlap = col_ref.inner(&col_logical);
+        if (overlap.norm() - 1.0).abs() > tol {
+            return UnitaryEquivalence::Different { witness: basis };
+        }
+        match shared_phase {
+            None => shared_phase = Some(overlap),
+            Some(phase) => {
+                if (overlap - phase).norm() > tol {
+                    return UnitaryEquivalence::Different { witness: basis };
+                }
+            }
+        }
+    }
+    UnitaryEquivalence::Equivalent
+}
+
+fn identity_perm(n: u32) -> Vec<Qubit> {
+    (0..n).map(Qubit).collect()
+}
+
+/// `perm[q] = p` means wire `q` should be read from physical wire `p`'s
+/// position; the inverse relabels physical back to logical.
+fn inverse_perm(mapping: &[Qubit]) -> Vec<Qubit> {
+    let mut inv = vec![Qubit(0); mapping.len()];
+    for (logical, phys) in mapping.iter().enumerate() {
+        inv[phys.index()] = Qubit(logical as u32);
+    }
+    inv
+}
+
+fn pad_with_zero_ancillas(state: &StateVector, n_total: u32) -> StateVector {
+    let n_small = state.num_qubits();
+    assert!(n_total >= n_small);
+    if n_total == n_small {
+        return state.clone();
+    }
+    let dim = 1usize << n_total;
+    let mut amps = vec![Complex::ZERO; dim];
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        amps[i] = *a;
+    }
+    StateVector::from_amplitudes(amps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::{Gate, OneQubitKind, Params};
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.rz(Qubit(2), 0.3);
+        assert!(unitaries_equal(&c, &c.clone(), TOL).is_equivalent());
+    }
+
+    #[test]
+    fn global_phase_difference_is_accepted() {
+        // RZ(2π) = -I: pure global phase.
+        let mut a = Circuit::new(1);
+        a.h(Qubit(0));
+        let mut b = a.clone();
+        b.rz(Qubit(0), 2.0 * std::f64::consts::PI);
+        assert!(unitaries_equal(&a, &b, TOL).is_equivalent());
+    }
+
+    #[test]
+    fn relative_phase_difference_is_rejected() {
+        // P(π/2) vs identity: diagonal phase, not global.
+        let a = Circuit::new(1);
+        let mut b = Circuit::new(1);
+        b.push(Gate::one(
+            OneQubitKind::P,
+            Qubit(0),
+            Params::one(std::f64::consts::FRAC_PI_2),
+        ));
+        let result = unitaries_equal(&a, &b, TOL);
+        assert!(!result.is_equivalent());
+    }
+
+    #[test]
+    fn different_gate_order_detected() {
+        let mut a = Circuit::new(2);
+        a.h(Qubit(0));
+        a.cx(Qubit(0), Qubit(1));
+        let mut b = Circuit::new(2);
+        b.cx(Qubit(0), Qubit(1));
+        b.h(Qubit(0));
+        assert!(!unitaries_equal(&a, &b, TOL).is_equivalent());
+    }
+
+    #[test]
+    fn swap_then_relabel_is_equivalent() {
+        // original: CX(0,1). routed: SWAP(1,2); CX(0,2) — logical q1 now
+        // lives on wire 2.
+        let mut original = Circuit::new(3);
+        original.cx(Qubit(0), Qubit(1));
+        let mut routed = Circuit::new(3);
+        routed.swap(Qubit(1), Qubit(2));
+        routed.cx(Qubit(0), Qubit(2));
+        let initial: Vec<Qubit> = vec![Qubit(0), Qubit(1), Qubit(2)];
+        let final_: Vec<Qubit> = vec![Qubit(0), Qubit(2), Qubit(1)];
+        assert!(
+            routed_equivalent(&original, &routed, &initial, &final_, TOL).is_equivalent()
+        );
+    }
+
+    #[test]
+    fn routed_with_wrong_final_mapping_rejected() {
+        let mut original = Circuit::new(3);
+        original.cx(Qubit(0), Qubit(1));
+        let mut routed = Circuit::new(3);
+        routed.swap(Qubit(1), Qubit(2));
+        routed.cx(Qubit(0), Qubit(2));
+        let initial: Vec<Qubit> = vec![Qubit(0), Qubit(1), Qubit(2)];
+        // Claim no permutation happened — must fail.
+        let wrong_final: Vec<Qubit> = vec![Qubit(0), Qubit(1), Qubit(2)];
+        assert!(
+            !routed_equivalent(&original, &routed, &initial, &wrong_final, TOL)
+                .is_equivalent()
+        );
+    }
+
+    #[test]
+    fn routed_on_larger_register_with_nontrivial_initial_layout() {
+        // original: H(0); CX(0,1) on 2 logical qubits.
+        // routed: logical 0 on wire 2, logical 1 on wire 0 of a 3-wire device.
+        let mut original = Circuit::new(2);
+        original.h(Qubit(0));
+        original.cx(Qubit(0), Qubit(1));
+        let mut routed = Circuit::new(3);
+        routed.h(Qubit(2));
+        routed.cx(Qubit(2), Qubit(0));
+        let initial = vec![Qubit(2), Qubit(0), Qubit(1)];
+        let final_ = initial.clone();
+        assert!(
+            routed_equivalent(&original, &routed, &initial, &final_, TOL).is_equivalent()
+        );
+    }
+
+    #[test]
+    fn routed_detects_dropped_gate() {
+        let mut original = Circuit::new(2);
+        original.h(Qubit(0));
+        original.cx(Qubit(0), Qubit(1));
+        let mut routed = Circuit::new(2);
+        routed.h(Qubit(0)); // missing the CX
+        let ident = vec![Qubit(0), Qubit(1)];
+        assert!(!routed_equivalent(&original, &routed, &ident, &ident, TOL).is_equivalent());
+    }
+
+    #[test]
+    fn witness_points_at_differing_column() {
+        // X on |0⟩ only differs... X differs from I on every basis state;
+        // use controlled behaviour for a sharper witness: CX vs I differ
+        // only when the control bit is 1.
+        let mut a = Circuit::new(2);
+        a.cx(Qubit(0), Qubit(1));
+        let b = Circuit::new(2);
+        match unitaries_equal(&a, &b, TOL) {
+            UnitaryEquivalence::Different { witness } => {
+                assert_eq!(witness & 0b01, 1, "CX and I agree when control is 0");
+            }
+            UnitaryEquivalence::Equivalent => panic!("CX is not the identity"),
+        }
+    }
+}

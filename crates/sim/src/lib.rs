@@ -1,0 +1,46 @@
+//! State-vector simulation substrate for the SABRE reproduction.
+//!
+//! Routing must preserve circuit semantics: the routed circuit, under its
+//! initial mapping and up to the SWAP-induced output permutation, has to
+//! implement the same unitary as the original. This crate provides the
+//! machinery to check that end to end on small benchmarks:
+//!
+//! - [`Complex`]: a self-contained complex-number type (the workspace uses
+//!   no external numerics crates).
+//! - [`StateVector`]: a dense `2^n` amplitude vector with exact gate
+//!   application kernels for the whole IR gate set.
+//! - [`equivalence`]: unitary equivalence checks up to global phase, via
+//!   exhaustive basis-state simulation.
+//!
+//! Wire `q` corresponds to bit `q` of the amplitude index (little-endian):
+//! basis state `|b_{n-1} … b_1 b_0⟩` sits at index `Σ b_q · 2^q`.
+//!
+//! # Example
+//!
+//! ```
+//! use sabre_circuit::{Circuit, Qubit};
+//! use sabre_sim::StateVector;
+//!
+//! // Bell state: H(0); CX(0,1).
+//! let mut c = Circuit::new(2);
+//! c.h(Qubit(0));
+//! c.cx(Qubit(0), Qubit(1));
+//! let state = StateVector::zero(2).evolved(&c);
+//! assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+//! assert!(state.probability(0b01) < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+pub mod equivalence;
+mod state;
+
+pub use complex::Complex;
+pub use state::StateVector;
+
+/// Largest register size the simulator accepts (dense vectors above this
+/// exhaust memory quickly: 2^24 amplitudes = 256 MiB).
+pub const MAX_QUBITS: u32 = 24;

@@ -1,0 +1,637 @@
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+
+use sabre_circuit::{Circuit, Gate, OneQubitKind, Qubit, TwoQubitKind};
+
+use crate::{Complex, MAX_QUBITS};
+
+/// A dense state vector over `n` qubits: `2^n` complex amplitudes.
+///
+/// Wire `q` is bit `q` of the amplitude index (little-endian). All gate
+/// kernels are exact (no Trotterization or truncation); unitarity is
+/// preserved to floating-point accuracy, which the property tests verify.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    num_qubits: u32,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_QUBITS` (the dense representation would
+    /// not fit in memory).
+    pub fn zero(num_qubits: u32) -> Self {
+        StateVector::basis(num_qubits, 0)
+    }
+
+    /// The computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > MAX_QUBITS` or `index >= 2^num_qubits`.
+    pub fn basis(num_qubits: u32, index: usize) -> Self {
+        assert!(
+            num_qubits <= MAX_QUBITS,
+            "dense simulation beyond {MAX_QUBITS} qubits is not supported"
+        );
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[index] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes (length must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `2^n` for some `n ≤ MAX_QUBITS`.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        let dim = amps.len();
+        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        let num_qubits = dim.trailing_zeros();
+        assert!(num_qubits <= MAX_QUBITS);
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes, little-endian indexed.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// `⟨self|self⟩` — should stay 1 under unitary evolution.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Born-rule probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits, "dimension mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Whether the states are equal up to a single global phase, within
+    /// absolute tolerance `tol` per amplitude.
+    pub fn equal_up_to_global_phase(&self, other: &StateVector, tol: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        // Phase-align on the largest amplitude of `self`.
+        let (pivot, _) = self
+            .amps
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.norm_sqr().total_cmp(&b.norm_sqr()))
+            .expect("states are non-empty");
+        let a = self.amps[pivot];
+        let b = other.amps[pivot];
+        if a.norm() < tol && b.norm() < tol {
+            // Degenerate (near-zero) pivot: fall back to direct comparison.
+            return self
+                .amps
+                .iter()
+                .zip(&other.amps)
+                .all(|(x, y)| (*x - *y).norm() <= tol);
+        }
+        if (a.norm() - b.norm()).abs() > tol {
+            return false;
+        }
+        // phase = b / a, normalized to unit magnitude.
+        let phase = b * a.conj() * (1.0 / (a.norm() * b.norm().max(f64::MIN_POSITIVE)));
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .all(|(x, y)| (*x * phase - *y).norm() <= tol)
+    }
+
+    /// Applies one gate in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate addresses a wire outside the register.
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::One {
+                kind,
+                qubit,
+                params,
+            } => {
+                let m = one_qubit_matrix(kind, params.as_slice());
+                self.apply_one(qubit, m);
+            }
+            Gate::Two { kind, a, b, params } => match kind {
+                TwoQubitKind::Cx => self.apply_cx(a, b),
+                TwoQubitKind::Cz => self.apply_phase_on_11(a, b, Complex::new(-1.0, 0.0)),
+                TwoQubitKind::Swap => self.apply_swap(a, b),
+                TwoQubitKind::Cp => {
+                    self.apply_phase_on_11(a, b, Complex::cis(params.as_slice()[0]))
+                }
+                TwoQubitKind::Rzz => self.apply_rzz(a, b, params.as_slice()[0]),
+            },
+        }
+    }
+
+    /// Applies every gate of `circuit` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit register is larger than the state's.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit register exceeds state register"
+        );
+        for gate in circuit {
+            self.apply(gate);
+        }
+    }
+
+    /// Returns the state after `circuit` (builder-style convenience).
+    #[must_use]
+    pub fn evolved(mut self, circuit: &Circuit) -> StateVector {
+        self.apply_circuit(circuit);
+        self
+    }
+
+    /// Relabels wires: amplitude of basis state `b` moves to the basis
+    /// state where each wire `q`'s bit lands on `perm[q]`. `perm` must be a
+    /// permutation of `0..n`.
+    ///
+    /// Routing leaves qubits permuted by the inserted SWAPs; the verifier
+    /// uses this to undo that output permutation before comparing states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of the wire indices.
+    #[must_use]
+    pub fn permuted(&self, perm: &[Qubit]) -> StateVector {
+        assert_eq!(perm.len(), self.num_qubits as usize, "permutation length");
+        let mut seen = vec![false; perm.len()];
+        for p in perm {
+            assert!(!seen[p.index()], "not a permutation");
+            seen[p.index()] = true;
+        }
+        let mut out = vec![Complex::ZERO; self.amps.len()];
+        for (idx, amp) in self.amps.iter().enumerate() {
+            let mut target = 0usize;
+            for (q, p) in perm.iter().enumerate() {
+                if (idx >> q) & 1 == 1 {
+                    target |= 1 << p.index();
+                }
+            }
+            out[target] = *amp;
+        }
+        StateVector {
+            num_qubits: self.num_qubits,
+            amps: out,
+        }
+    }
+
+    fn apply_one(&mut self, q: Qubit, m: [[Complex; 2]; 2]) {
+        assert!(q.0 < self.num_qubits, "qubit out of range");
+        let bit = 1usize << q.0;
+        for base in 0..self.amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let i0 = base;
+            let i1 = base | bit;
+            let a0 = self.amps[i0];
+            let a1 = self.amps[i1];
+            self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+            self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+
+    fn apply_cx(&mut self, control: Qubit, target: Qubit) {
+        assert!(control.0 < self.num_qubits && target.0 < self.num_qubits);
+        let cbit = 1usize << control.0;
+        let tbit = 1usize << target.0;
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: Qubit, b: Qubit) {
+        assert!(a.0 < self.num_qubits && b.0 < self.num_qubits);
+        let abit = 1usize << a.0;
+        let bbit = 1usize << b.0;
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                self.amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+
+    fn apply_phase_on_11(&mut self, a: Qubit, b: Qubit, phase: Complex) {
+        assert!(a.0 < self.num_qubits && b.0 < self.num_qubits);
+        let mask = (1usize << a.0) | (1usize << b.0);
+        for i in 0..self.amps.len() {
+            if i & mask == mask {
+                self.amps[i] *= phase;
+            }
+        }
+    }
+
+    fn apply_rzz(&mut self, a: Qubit, b: Qubit, theta: f64) {
+        assert!(a.0 < self.num_qubits && b.0 < self.num_qubits);
+        let abit = 1usize << a.0;
+        let bbit = 1usize << b.0;
+        let same = Complex::cis(-theta / 2.0);
+        let diff = Complex::cis(theta / 2.0);
+        for i in 0..self.amps.len() {
+            let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
+            self.amps[i] *= if parity == 0 { same } else { diff };
+        }
+    }
+}
+
+impl fmt::Display for StateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "state over {} qubits:", self.num_qubits)?;
+        for (i, a) in self.amps.iter().enumerate() {
+            if a.norm_sqr() > 1e-12 {
+                writeln!(
+                    f,
+                    "  |{:0width$b}⟩: {a}",
+                    i,
+                    width = self.num_qubits as usize
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The 2×2 unitary of a single-qubit gate kind.
+pub(crate) fn one_qubit_matrix(kind: OneQubitKind, params: &[f64]) -> [[Complex; 2]; 2] {
+    use Complex as C;
+    let zero = C::ZERO;
+    let one = C::ONE;
+    match kind {
+        OneQubitKind::I => [[one, zero], [zero, one]],
+        OneQubitKind::H => {
+            let h = C::new(FRAC_1_SQRT_2, 0.0);
+            [[h, h], [h, -h]]
+        }
+        OneQubitKind::X => [[zero, one], [one, zero]],
+        OneQubitKind::Y => [[zero, -C::I], [C::I, zero]],
+        OneQubitKind::Z => [[one, zero], [zero, -one]],
+        OneQubitKind::S => [[one, zero], [zero, C::I]],
+        OneQubitKind::Sdg => [[one, zero], [zero, -C::I]],
+        OneQubitKind::T => [[one, zero], [zero, C::cis(std::f64::consts::FRAC_PI_4)]],
+        OneQubitKind::Tdg => [[one, zero], [zero, C::cis(-std::f64::consts::FRAC_PI_4)]],
+        OneQubitKind::Sx => {
+            let p = C::new(0.5, 0.5);
+            let m = C::new(0.5, -0.5);
+            [[p, m], [m, p]]
+        }
+        OneQubitKind::Rx => {
+            let t = params[0] / 2.0;
+            let c = C::new(t.cos(), 0.0);
+            let s = C::new(0.0, -t.sin());
+            [[c, s], [s, c]]
+        }
+        OneQubitKind::Ry => {
+            let t = params[0] / 2.0;
+            let c = C::new(t.cos(), 0.0);
+            let s = C::new(t.sin(), 0.0);
+            [[c, -s], [s, c]]
+        }
+        OneQubitKind::Rz => {
+            let t = params[0] / 2.0;
+            [[C::cis(-t), zero], [zero, C::cis(t)]]
+        }
+        OneQubitKind::P => [[one, zero], [zero, C::cis(params[0])]],
+        OneQubitKind::U => {
+            let (theta, phi, lambda) = (params[0], params[1], params[2]);
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            [
+                [C::new(c, 0.0), -C::cis(lambda) * s],
+                [C::cis(phi) * s, C::cis(phi + lambda) * c],
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::Params;
+
+    const TOL: f64 = 1e-12;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < TOL, "{a} != {b}");
+    }
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let s = StateVector::zero(3);
+        assert_close(s.probability(0), 1.0);
+        assert_close(s.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0));
+        let s = StateVector::zero(1).evolved(&c);
+        assert_close(s.probability(0), 0.5);
+        assert_close(s.probability(1), 0.5);
+    }
+
+    #[test]
+    fn x_flips_basis_state() {
+        let mut c = Circuit::new(2);
+        c.x(Qubit(1));
+        let s = StateVector::zero(2).evolved(&c);
+        assert_close(s.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        let s = StateVector::zero(2).evolved(&c);
+        assert_close(s.probability(0b00), 0.5);
+        assert_close(s.probability(0b11), 0.5);
+        assert_close(s.probability(0b01), 0.0);
+        assert_close(s.probability(0b10), 0.0);
+    }
+
+    #[test]
+    fn cx_respects_control_direction() {
+        // |01⟩ (q0=1): CX(0→1) flips q1 producing |11⟩.
+        let mut s = StateVector::basis(2, 0b01);
+        s.apply(&Gate::cx(Qubit(0), Qubit(1)));
+        assert_close(s.probability(0b11), 1.0);
+        // |10⟩ (q0=0): control clear, state unchanged.
+        let mut s = StateVector::basis(2, 0b10);
+        s.apply(&Gate::cx(Qubit(0), Qubit(1)));
+        assert_close(s.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn swap_exchanges_wires() {
+        let mut s = StateVector::basis(2, 0b01);
+        s.apply(&Gate::swap(Qubit(0), Qubit(1)));
+        assert_close(s.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        for basis in 0..4 {
+            let mut a = StateVector::basis(2, basis);
+            a.apply(&Gate::swap(Qubit(0), Qubit(1)));
+            let mut b = StateVector::basis(2, basis);
+            b.apply(&Gate::cx(Qubit(0), Qubit(1)));
+            b.apply(&Gate::cx(Qubit(1), Qubit(0)));
+            b.apply(&Gate::cx(Qubit(0), Qubit(1)));
+            assert!(a.equal_up_to_global_phase(&b, TOL), "basis {basis}");
+        }
+    }
+
+    #[test]
+    fn involutions_square_to_identity() {
+        use OneQubitKind as O;
+        for kind in [O::H, O::X, O::Y, O::Z] {
+            let mut c = Circuit::new(1);
+            c.push(Gate::one(kind, Qubit(0), Params::EMPTY));
+            c.push(Gate::one(kind, Qubit(0), Params::EMPTY));
+            let s = StateVector::zero(1).evolved(&c);
+            assert!(
+                s.equal_up_to_global_phase(&StateVector::zero(1), TOL),
+                "{kind:?}² ≠ I"
+            );
+        }
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        let on_plus = |kinds: &[OneQubitKind]| {
+            let mut c = Circuit::new(1);
+            c.h(Qubit(0));
+            for &k in kinds {
+                c.push(Gate::one(k, Qubit(0), Params::EMPTY));
+            }
+            StateVector::zero(1).evolved(&c)
+        };
+        use OneQubitKind as O;
+        assert!(on_plus(&[O::S, O::S]).equal_up_to_global_phase(&on_plus(&[O::Z]), TOL));
+        assert!(on_plus(&[O::T, O::T]).equal_up_to_global_phase(&on_plus(&[O::S]), TOL));
+        assert!(on_plus(&[O::Sx, O::Sx]).equal_up_to_global_phase(&on_plus(&[O::X]), TOL));
+    }
+
+    #[test]
+    fn rz_pi_equals_z_up_to_phase() {
+        let mut plus = Circuit::new(1);
+        plus.h(Qubit(0));
+        let mut with_rz = plus.clone();
+        with_rz.rz(Qubit(0), std::f64::consts::PI);
+        let mut with_z = plus.clone();
+        with_z.push(Gate::one(OneQubitKind::Z, Qubit(0), Params::EMPTY));
+        let a = StateVector::zero(1).evolved(&with_rz);
+        let b = StateVector::zero(1).evolved(&with_z);
+        assert!(a.equal_up_to_global_phase(&b, TOL));
+        assert!(!a.eq(&b), "differ by global phase -i");
+    }
+
+    #[test]
+    fn u_gate_reproduces_h() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        let mut via_u = Circuit::new(1);
+        via_u.push(Gate::one(
+            OneQubitKind::U,
+            Qubit(0),
+            Params::three(FRAC_PI_2, 0.0, PI),
+        ));
+        let mut via_h = Circuit::new(1);
+        via_h.h(Qubit(0));
+        let a = StateVector::zero(1).evolved(&via_u);
+        let b = StateVector::zero(1).evolved(&via_h);
+        assert!(a.equal_up_to_global_phase(&b, TOL));
+    }
+
+    #[test]
+    fn cz_and_cp_pi_agree() {
+        for basis in 0..4 {
+            let mut a = StateVector::basis(2, basis);
+            a.apply(&Gate::two(
+                TwoQubitKind::Cz,
+                Qubit(0),
+                Qubit(1),
+                Params::EMPTY,
+            ));
+            let mut b = StateVector::basis(2, basis);
+            b.apply(&Gate::two(
+                TwoQubitKind::Cp,
+                Qubit(0),
+                Qubit(1),
+                Params::one(std::f64::consts::PI),
+            ));
+            assert!(a.equal_up_to_global_phase(&b, TOL));
+        }
+    }
+
+    #[test]
+    fn rzz_decomposition_matches() {
+        // RZZ(θ) = CX(a,b) · RZ_b(θ) · CX(a,b)
+        let theta = 0.7;
+        let mut h_all = Circuit::new(2);
+        h_all.h(Qubit(0));
+        h_all.h(Qubit(1));
+        let mut direct = h_all.clone();
+        direct.rzz(Qubit(0), Qubit(1), theta);
+        let mut decomposed = h_all.clone();
+        decomposed.cx(Qubit(0), Qubit(1));
+        decomposed.rz(Qubit(1), theta);
+        decomposed.cx(Qubit(0), Qubit(1));
+        let a = StateVector::zero(2).evolved(&direct);
+        let b = StateVector::zero(2).evolved(&decomposed);
+        assert!(a.equal_up_to_global_phase(&b, TOL));
+    }
+
+    #[test]
+    fn unitarity_preserved_on_deep_circuit() {
+        let mut c = Circuit::new(4);
+        for i in 0..4 {
+            c.h(Qubit(i));
+        }
+        for layer in 0..10 {
+            for i in 0..3 {
+                c.cx(Qubit(i), Qubit(i + 1));
+                c.rz(Qubit(i), 0.1 * (layer + 1) as f64);
+            }
+        }
+        let s = StateVector::zero(4).evolved(&c);
+        assert_close(s.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn circuit_then_reverse_is_identity() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.rz(Qubit(1), 0.4);
+        c.cp(Qubit(1), Qubit(2), 0.3);
+        c.swap(Qubit(0), Qubit(2));
+        c.push(Gate::one(OneQubitKind::T, Qubit(2), Params::EMPTY));
+        let round_trip = StateVector::zero(3).evolved(&c).evolved(&c.reversed());
+        assert!(round_trip.equal_up_to_global_phase(&StateVector::zero(3), 1e-10));
+    }
+
+    #[test]
+    fn permuted_moves_bits() {
+        // |q1 q0⟩ = |01⟩, permutation q0→q1, q1→q0 gives |10⟩.
+        let s = StateVector::basis(2, 0b01);
+        let p = s.permuted(&[Qubit(1), Qubit(0)]);
+        assert_close(p.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(2));
+        let s = StateVector::zero(3).evolved(&c);
+        let p = s.permuted(&[Qubit(0), Qubit(1), Qubit(2)]);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn permuted_composes_with_swap() {
+        // Applying SWAP(a,b) then relabeling a↔b returns the original state.
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.rz(Qubit(0), 0.3);
+        let s = StateVector::zero(2).evolved(&c);
+        let mut swapped = s.clone();
+        swapped.apply(&Gate::swap(Qubit(0), Qubit(1)));
+        let back = swapped.permuted(&[Qubit(1), Qubit(0)]);
+        assert!(back.equal_up_to_global_phase(&s, TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_rejects_non_permutation() {
+        let s = StateVector::zero(2);
+        let _ = s.permuted(&[Qubit(0), Qubit(0)]);
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states() {
+        let a = StateVector::basis(2, 0);
+        let b = StateVector::basis(2, 3);
+        assert_eq!(a.inner(&b), Complex::ZERO);
+        assert_eq!(a.inner(&a), Complex::ONE);
+    }
+
+    #[test]
+    fn global_phase_equality_rejects_different_states() {
+        let a = StateVector::basis(2, 0);
+        let b = StateVector::basis(2, 1);
+        assert!(!a.equal_up_to_global_phase(&b, TOL));
+    }
+
+    #[test]
+    fn display_shows_nonzero_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        let s = StateVector::zero(2).evolved(&c);
+        let text = s.to_string();
+        assert!(text.contains("|00⟩"));
+        assert!(text.contains("|01⟩"));
+        assert!(!text.contains("|10⟩"));
+    }
+
+    #[test]
+    fn all_one_qubit_matrices_are_unitary() {
+        for kind in OneQubitKind::ALL {
+            let params = match kind.num_params() {
+                0 => vec![],
+                1 => vec![0.37],
+                3 => vec![0.37, -1.2, 2.4],
+                _ => unreachable!(),
+            };
+            let m = one_qubit_matrix(kind, &params);
+            // M† M = I
+            for i in 0..2 {
+                for j in 0..2 {
+                    let mut acc = Complex::ZERO;
+                    for k in 0..2 {
+                        acc += m[k][i].conj() * m[k][j];
+                    }
+                    let expected = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (acc.re - expected).abs() < TOL && acc.im.abs() < TOL,
+                        "{kind:?} not unitary"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+use std::fmt;
+
+use crate::{CouplingGraph, Qubit};
+
+/// All-pairs shortest-path distance matrix `D[][]` (paper §IV-A).
+///
+/// Computed with the Floyd–Warshall algorithm in `O(N³)`, "acceptable for
+/// NISQ devices with hundreds of qubits". Every coupling-graph edge has
+/// length 1, so `D[i][j]` equals the number of SWAPs needed to make qubits
+/// sitting on `Q_i` and `Q_j` adjacent, plus one (the paper ignores the
+/// constant offset, §IV-D1, and so do we — only relative order matters to
+/// the heuristic).
+///
+/// # Example
+///
+/// ```
+/// use sabre_topology::{CouplingGraph, DistanceMatrix, Qubit};
+///
+/// let line = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let d = DistanceMatrix::floyd_warshall(&line);
+/// assert_eq!(d.get(Qubit(0), Qubit(3)), 3);
+/// assert_eq!(d.get(Qubit(2), Qubit(2)), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n × n`; `u32::MAX` marks unreachable pairs.
+    data: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Sentinel for unreachable pairs.
+    pub const UNREACHABLE: u32 = u32::MAX;
+
+    /// Computes all-pairs shortest paths with Floyd–Warshall, exactly as the
+    /// paper prescribes in §IV-A.
+    pub fn floyd_warshall(graph: &CouplingGraph) -> Self {
+        let n = graph.num_qubits() as usize;
+        let mut data = vec![Self::UNREACHABLE; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0;
+        }
+        for &(a, b) in graph.edges() {
+            data[a.index() * n + b.index()] = 1;
+            data[b.index() * n + a.index()] = 1;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = data[i * n + k];
+                if dik == Self::UNREACHABLE {
+                    continue;
+                }
+                for j in 0..n {
+                    let dkj = data[k * n + j];
+                    if dkj == Self::UNREACHABLE {
+                        continue;
+                    }
+                    let through_k = dik + dkj;
+                    if through_k < data[i * n + j] {
+                        data[i * n + j] = through_k;
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Computes the same matrix with `N` breadth-first searches, `O(N·E)`.
+    /// Used as a cross-check in tests and as the faster option for sparse
+    /// graphs.
+    pub fn bfs(graph: &CouplingGraph) -> Self {
+        let n = graph.num_qubits() as usize;
+        let mut data = vec![Self::UNREACHABLE; n * n];
+        for i in 0..n {
+            let dist = graph.bfs_distances(Qubit(i as u32));
+            data[i * n..(i + 1) * n].copy_from_slice(&dist);
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of qubits the matrix covers.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The distance `D[a][b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get(&self, a: Qubit, b: Qubit) -> u32 {
+        self.data[a.index() * self.n + b.index()]
+    }
+
+    /// `true` when `a` and `b` are distinct and directly coupled.
+    #[inline]
+    pub fn adjacent(&self, a: Qubit, b: Qubit) -> bool {
+        self.get(a, b) == 1
+    }
+
+    /// Whether every pair is reachable.
+    pub fn all_finite(&self) -> bool {
+        !self.data.contains(&Self::UNREACHABLE)
+    }
+
+    /// Largest finite distance (the diameter when connected).
+    pub fn max_finite(&self) -> u32 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|&d| d != Self::UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// All-pairs shortest paths over **weighted** edges (`f64` costs), used by
+/// the noise-aware routing extension: edge weights are per-coupling SWAP
+/// costs in the log-fidelity domain, so a path's total weight is the
+/// (negated log) fidelity of swapping along it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedDistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl WeightedDistanceMatrix {
+    /// Floyd–Warshall over arbitrary non-negative edge weights supplied by
+    /// `weight(a, b)` for each coupling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is negative or non-finite.
+    pub fn floyd_warshall<F>(graph: &CouplingGraph, mut weight: F) -> Self
+    where
+        F: FnMut(Qubit, Qubit) -> f64,
+    {
+        let n = graph.num_qubits() as usize;
+        let mut data = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        for &(a, b) in graph.edges() {
+            let w = weight(a, b);
+            assert!(w.is_finite() && w >= 0.0, "edge weights must be finite and ≥ 0");
+            data[a.index() * n + b.index()] = w;
+            data[b.index() * n + a.index()] = w;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = data[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let through_k = dik + data[k * n + j];
+                    if through_k < data[i * n + j] {
+                        data[i * n + j] = through_k;
+                    }
+                }
+            }
+        }
+        WeightedDistanceMatrix { n, data }
+    }
+
+    /// Builds the unweighted (hop-count) matrix as `f64` — what the
+    /// default router uses internally.
+    pub fn hops(graph: &CouplingGraph) -> Self {
+        Self::floyd_warshall(graph, |_, _| 1.0)
+    }
+
+    /// Number of qubits covered.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The weighted distance between `a` and `b` (`f64::INFINITY` when
+    /// unreachable).
+    #[inline]
+    pub fn get(&self, a: Qubit, b: Qubit) -> f64 {
+        self.data[a.index() * self.n + b.index()]
+    }
+}
+
+impl fmt::Display for DistanceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "distance matrix ({} qubits):", self.n)?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let d = self.data[i * self.n + j];
+                if d == Self::UNREACHABLE {
+                    write!(f, "  ∞")?;
+                } else {
+                    write!(f, " {d:2}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> CouplingGraph {
+        CouplingGraph::from_edges(4, [(0, 1), (1, 3), (3, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let d = DistanceMatrix::floyd_warshall(&square());
+        for i in 0..4 {
+            assert_eq!(d.get(Qubit(i), Qubit(i)), 0);
+        }
+    }
+
+    #[test]
+    fn edges_have_distance_one() {
+        let g = square();
+        let d = DistanceMatrix::floyd_warshall(&g);
+        for &(a, b) in g.edges() {
+            assert_eq!(d.get(a, b), 1);
+            assert!(d.adjacent(a, b));
+        }
+    }
+
+    #[test]
+    fn diagonal_of_square_is_two() {
+        let d = DistanceMatrix::floyd_warshall(&square());
+        assert_eq!(d.get(Qubit(0), Qubit(3)), 2);
+        assert_eq!(d.get(Qubit(1), Qubit(2)), 2);
+    }
+
+    #[test]
+    fn symmetry() {
+        let d = DistanceMatrix::floyd_warshall(&square());
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert_eq!(d.get(Qubit(i), Qubit(j)), d.get(Qubit(j), Qubit(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_line() {
+        let g = CouplingGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let d = DistanceMatrix::floyd_warshall(&g);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                for k in 0..5u32 {
+                    assert!(
+                        d.get(Qubit(i), Qubit(j))
+                            <= d.get(Qubit(i), Qubit(k)) + d.get(Qubit(k), Qubit(j))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_matches_bfs() {
+        let g = CouplingGraph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 6), (6, 4)],
+        )
+        .unwrap();
+        assert_eq!(
+            DistanceMatrix::floyd_warshall(&g),
+            DistanceMatrix::bfs(&g)
+        );
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unreachable() {
+        let g = CouplingGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d = DistanceMatrix::floyd_warshall(&g);
+        assert_eq!(d.get(Qubit(0), Qubit(2)), DistanceMatrix::UNREACHABLE);
+        assert!(!d.all_finite());
+        assert_eq!(d.max_finite(), 1);
+    }
+
+    #[test]
+    fn max_finite_equals_diameter_when_connected() {
+        let g = CouplingGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let d = DistanceMatrix::floyd_warshall(&g);
+        assert!(d.all_finite());
+        assert_eq!(d.max_finite(), g.diameter().unwrap());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let d = DistanceMatrix::floyd_warshall(&square());
+        let text = d.to_string();
+        assert!(text.contains("4 qubits"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CouplingGraph::from_edges(0, []).unwrap();
+        let d = DistanceMatrix::floyd_warshall(&g);
+        assert_eq!(d.num_qubits(), 0);
+        assert!(d.all_finite());
+    }
+
+    #[test]
+    fn weighted_hops_matches_unweighted() {
+        let g = CouplingGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let d = DistanceMatrix::floyd_warshall(&g);
+        let w = WeightedDistanceMatrix::hops(&g);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                assert_eq!(w.get(Qubit(i), Qubit(j)), f64::from(d.get(Qubit(i), Qubit(j))));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_detours() {
+        // Triangle 0-1-2 where the direct edge (0,2) costs 10 but the
+        // two-hop path through 1 costs 2.
+        let g = CouplingGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let w = WeightedDistanceMatrix::floyd_warshall(&g, |a, b| {
+            if (a, b) == (Qubit(0), Qubit(2)) {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(w.get(Qubit(0), Qubit(2)), 2.0);
+    }
+
+    #[test]
+    fn weighted_marks_unreachable_as_infinity() {
+        let g = CouplingGraph::from_edges(3, [(0, 1)]).unwrap();
+        let w = WeightedDistanceMatrix::hops(&g);
+        assert!(w.get(Qubit(0), Qubit(2)).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn weighted_rejects_negative_weights() {
+        let g = CouplingGraph::from_edges(2, [(0, 1)]).unwrap();
+        let _ = WeightedDistanceMatrix::floyd_warshall(&g, |_, _| -1.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-edge noise models — the paper's §VI "More Precise Hardware
+//! Modeling" future-work direction.
+//!
+//! The paper routes against a uniform hardware model but notes that "the
+//! difference in the error rate … of the same quantum gate applied on
+//! different qubits or qubit pairs may also influence the fidelity"
+//! (citing Tannu & Qureshi's variability study). This module supplies that
+//! refinement: a [`NoiseModel`] attaches a two-qubit error rate to every
+//! coupling and single-qubit/readout averages to the device, supports
+//! calibration-like randomized variability, and estimates end-to-end
+//! circuit success probability. `sabre::SabreRouter::with_noise` consumes
+//! it to steer SWAPs through high-fidelity couplers.
+
+use std::collections::HashMap;
+
+use sabre_circuit::{Circuit, Qubit};
+
+use crate::CouplingGraph;
+
+/// Per-device, per-edge error rates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Two-qubit gate error per coupling, keyed by canonical `(min, max)`.
+    edge_error: HashMap<(Qubit, Qubit), f64>,
+    /// Average single-qubit gate error.
+    single_qubit_error: f64,
+}
+
+impl NoiseModel {
+    /// A uniform model: every coupling has the same two-qubit error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the error rates are outside `[0, 1)`.
+    pub fn uniform(graph: &CouplingGraph, two_qubit_error: f64, single_qubit_error: f64) -> Self {
+        assert!((0.0..1.0).contains(&two_qubit_error), "error must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&single_qubit_error),
+            "error must be in [0,1)"
+        );
+        NoiseModel {
+            edge_error: graph
+                .edges()
+                .iter()
+                .map(|&e| (e, two_qubit_error))
+                .collect(),
+            single_qubit_error,
+        }
+    }
+
+    /// A calibration-like model: each coupling's error is drawn
+    /// log-uniformly from `[base/spread, base*spread]` with a deterministic
+    /// per-edge hash, mimicking the qubit-to-qubit variability IBM
+    /// publishes daily. `spread = 1.0` degenerates to [`NoiseModel::uniform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is outside `(0, 1)` or `spread < 1`.
+    pub fn calibrated(graph: &CouplingGraph, base: f64, spread: f64, seed: u64) -> Self {
+        assert!(base > 0.0 && base < 1.0, "base error must be in (0,1)");
+        assert!(spread >= 1.0, "spread must be ≥ 1");
+        let edge_error = graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| {
+                // SplitMix64-style hash of (edge, seed) → uniform in [0,1).
+                let mut z = seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(
+                        ((a.0 as u64) << 32) | (b.0 as u64 + 1),
+                    ));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+                // log-uniform in [base/spread, base*spread]
+                let err = base * spread.powf(2.0 * u - 1.0);
+                ((a, b), err.min(0.999))
+            })
+            .collect();
+        NoiseModel {
+            edge_error,
+            single_qubit_error: base / 10.0,
+        }
+    }
+
+    /// Overrides one coupling's error rate (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not a known coupling or the rate is outside
+    /// `[0, 1)`.
+    pub fn with_edge_error(mut self, a: Qubit, b: Qubit, error: f64) -> Self {
+        assert!((0.0..1.0).contains(&error), "error must be in [0,1)");
+        let key = if a < b { (a, b) } else { (b, a) };
+        assert!(
+            self.edge_error.contains_key(&key),
+            "({a}, {b}) is not a coupling of this device"
+        );
+        self.edge_error.insert(key, error);
+        self
+    }
+
+    /// Two-qubit gate error on the coupling `(a, b)` (order-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair is not coupled.
+    pub fn edge_error(&self, a: Qubit, b: Qubit) -> f64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        *self
+            .edge_error
+            .get(&key)
+            .unwrap_or_else(|| panic!("({a}, {b}) is not a coupling of this device"))
+    }
+
+    /// Average single-qubit gate error.
+    pub fn single_qubit_error(&self) -> f64 {
+        self.single_qubit_error
+    }
+
+    /// The additive routing cost of one SWAP across `(a, b)`:
+    /// `-3·ln(1 - ε)` (three CNOTs, log-domain so costs sum along paths).
+    pub fn swap_cost(&self, a: Qubit, b: Qubit) -> f64 {
+        -3.0 * (1.0 - self.edge_error(a, b)).ln()
+    }
+
+    /// Estimated success probability of a *hardware* circuit under this
+    /// model: the product of per-gate fidelities (SWAPs count as three
+    /// two-qubit gates). Coherence-time effects are not modeled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a two-qubit gate acts on an uncoupled pair — estimate
+    /// only routed circuits.
+    pub fn success_probability(&self, circuit: &Circuit) -> f64 {
+        let mut log_fidelity = 0.0f64;
+        for gate in circuit {
+            match gate.qubits() {
+                (_, None) => log_fidelity += (1.0 - self.single_qubit_error).ln(),
+                (a, Some(b)) => {
+                    let factor = if gate.is_swap() { 3.0 } else { 1.0 };
+                    log_fidelity += factor * (1.0 - self.edge_error(a, b)).ln();
+                }
+            }
+        }
+        log_fidelity.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    #[test]
+    fn uniform_model_everywhere_equal() {
+        let device = devices::ibm_q20_tokyo();
+        let noise = NoiseModel::uniform(device.graph(), 0.03, 0.004);
+        for &(a, b) in device.graph().edges() {
+            assert_eq!(noise.edge_error(a, b), 0.03);
+            assert_eq!(noise.edge_error(b, a), 0.03);
+        }
+        assert_eq!(noise.single_qubit_error(), 0.004);
+    }
+
+    #[test]
+    fn calibrated_model_varies_but_stays_bounded() {
+        let device = devices::ibm_q20_tokyo();
+        let noise = NoiseModel::calibrated(device.graph(), 0.02, 4.0, 7);
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for &(a, b) in device.graph().edges() {
+            let e = noise.edge_error(a, b);
+            assert!((0.005..=0.08).contains(&e), "error {e} out of band");
+            min = min.min(e);
+            max = max.max(e);
+        }
+        assert!(max / min > 2.0, "expected meaningful variability");
+    }
+
+    #[test]
+    fn calibrated_model_is_deterministic_per_seed() {
+        let device = devices::ibm_qx5();
+        assert_eq!(
+            NoiseModel::calibrated(device.graph(), 0.02, 3.0, 1),
+            NoiseModel::calibrated(device.graph(), 0.02, 3.0, 1)
+        );
+        assert_ne!(
+            NoiseModel::calibrated(device.graph(), 0.02, 3.0, 1),
+            NoiseModel::calibrated(device.graph(), 0.02, 3.0, 2)
+        );
+    }
+
+    #[test]
+    fn with_edge_error_overrides() {
+        let device = devices::linear(3);
+        let noise = NoiseModel::uniform(device.graph(), 0.01, 0.001)
+            .with_edge_error(Qubit(1), Qubit(0), 0.2);
+        assert_eq!(noise.edge_error(Qubit(0), Qubit(1)), 0.2);
+        assert_eq!(noise.edge_error(Qubit(1), Qubit(2)), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a coupling")]
+    fn unknown_edge_rejected() {
+        let device = devices::linear(3);
+        let noise = NoiseModel::uniform(device.graph(), 0.01, 0.001);
+        let _ = noise.edge_error(Qubit(0), Qubit(2));
+    }
+
+    #[test]
+    fn swap_cost_is_three_cnots_in_log_domain() {
+        let device = devices::linear(2);
+        let noise = NoiseModel::uniform(device.graph(), 0.1, 0.001);
+        let expected = -3.0 * (0.9f64).ln();
+        assert!((noise.swap_cost(Qubit(0), Qubit(1)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_probability_multiplies_fidelities() {
+        let device = devices::linear(3);
+        let noise = NoiseModel::uniform(device.graph(), 0.1, 0.01);
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.swap(Qubit(1), Qubit(2));
+        let expected = 0.99 * 0.9 * 0.9f64.powi(3);
+        assert!((noise.success_probability(&c) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_error_lowers_success() {
+        let device = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(1), Qubit(2));
+        let low = NoiseModel::uniform(device.graph(), 0.01, 0.001);
+        let high = NoiseModel::uniform(device.graph(), 0.05, 0.001);
+        assert!(low.success_probability(&c) > high.success_probability(&c));
+    }
+}

@@ -1,0 +1,82 @@
+use sabre_circuit::Circuit;
+use sabre_topology::CouplingGraph;
+
+use crate::VerifyError;
+
+/// Checks the hardware constraint: the circuit's register matches the
+/// device and every two-qubit gate acts on a coupled pair.
+///
+/// # Errors
+///
+/// - [`VerifyError::RegisterMismatch`] if the circuit register differs
+///   from the device size.
+/// - [`VerifyError::UncoupledGate`] for the first offending gate.
+pub fn check_compliance(circuit: &Circuit, graph: &CouplingGraph) -> Result<(), VerifyError> {
+    if circuit.num_qubits() != graph.num_qubits() {
+        return Err(VerifyError::RegisterMismatch {
+            circuit_qubits: circuit.num_qubits(),
+            device_qubits: graph.num_qubits(),
+        });
+    }
+    for (gate_index, gate) in circuit.iter().enumerate() {
+        if let (a, Some(b)) = gate.qubits() {
+            if !graph.are_coupled(a, b) {
+                return Err(VerifyError::UncoupledGate { gate_index, a, b });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sabre_circuit::Qubit;
+    use sabre_topology::devices;
+
+    #[test]
+    fn compliant_circuit_passes() {
+        let device = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(1));
+        assert!(check_compliance(&c, device.graph()).is_ok());
+    }
+
+    #[test]
+    fn uncoupled_gate_is_flagged_with_index() {
+        let device = devices::linear(3);
+        let mut c = Circuit::new(3);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(0), Qubit(2)); // distance 2 on a line
+        let err = check_compliance(&c, device.graph()).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::UncoupledGate {
+                gate_index: 1,
+                a: Qubit(0),
+                b: Qubit(2)
+            }
+        );
+    }
+
+    #[test]
+    fn register_mismatch_is_flagged() {
+        let device = devices::linear(4);
+        let c = Circuit::new(3);
+        assert!(matches!(
+            check_compliance(&c, device.graph()),
+            Err(VerifyError::RegisterMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_qubit_gates_are_always_compliant() {
+        let device = devices::linear(2);
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.h(Qubit(1));
+        assert!(check_compliance(&c, device.graph()).is_ok());
+    }
+}

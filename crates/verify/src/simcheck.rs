@@ -1,0 +1,113 @@
+use sabre_circuit::{Circuit, Qubit};
+use sabre_sim::equivalence::{routed_equivalent, UnitaryEquivalence};
+
+use crate::VerifyError;
+
+/// Register-size cap for the exhaustive simulation check: `2^n` basis
+/// states, each a `2^n` simulation — `n = 12` is ~seconds, beyond that use
+/// [`crate::verify_routed`].
+pub const MAX_SIM_QUBITS: u32 = 12;
+
+/// Full unitary verification by state-vector simulation: checks that the
+/// routed circuit, entered through `initial_map` and read back through
+/// `final_map`, implements the original circuit's unitary up to global
+/// phase. Unlike [`crate::verify_routed`] this makes **no assumption about
+/// SWAP gates** — a SWAP replaced by a buggy gate sequence is caught here.
+///
+/// # Errors
+///
+/// - [`VerifyError::TooLargeToSimulate`] beyond [`MAX_SIM_QUBITS`].
+/// - [`VerifyError::SemanticsDiffer`] with a witness basis state when the
+///   unitaries differ.
+pub fn verify_semantics_small(
+    original: &Circuit,
+    routed: &Circuit,
+    initial_map: &[Qubit],
+    final_map: &[Qubit],
+) -> Result<(), VerifyError> {
+    if routed.num_qubits() > MAX_SIM_QUBITS {
+        return Err(VerifyError::TooLargeToSimulate {
+            qubits: routed.num_qubits(),
+            max: MAX_SIM_QUBITS,
+        });
+    }
+    match routed_equivalent(original, routed, initial_map, final_map, 1e-9) {
+        UnitaryEquivalence::Equivalent => Ok(()),
+        UnitaryEquivalence::Different { witness } => {
+            Err(VerifyError::SemanticsDiffer { witness })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_map(n: u32) -> Vec<Qubit> {
+        (0..n).map(Qubit).collect()
+    }
+
+    #[test]
+    fn faithful_routing_passes_simulation() {
+        let mut original = Circuit::new(2);
+        original.h(Qubit(0));
+        original.cx(Qubit(0), Qubit(1));
+        let mut routed = Circuit::new(3);
+        routed.h(Qubit(0));
+        routed.swap(Qubit(1), Qubit(2));
+        routed.cx(Qubit(0), Qubit(2));
+        let initial = identity_map(3);
+        let final_ = vec![Qubit(0), Qubit(2), Qubit(1)];
+        assert!(verify_semantics_small(&original, &routed, &initial, &final_).is_ok());
+    }
+
+    #[test]
+    fn subtle_phase_bug_is_caught() {
+        // Replace CX(0,1) with CX(1,0): the permutation replay on wire
+        // *labels* cannot tell phases, but the simulator can tell these
+        // unitaries apart.
+        let mut original = Circuit::new(2);
+        original.h(Qubit(0));
+        original.cx(Qubit(0), Qubit(1));
+        let mut routed = Circuit::new(2);
+        routed.h(Qubit(0));
+        routed.cx(Qubit(1), Qubit(0));
+        let ident = identity_map(2);
+        let err = verify_semantics_small(&original, &routed, &ident, &ident).unwrap_err();
+        assert!(matches!(err, VerifyError::SemanticsDiffer { .. }));
+    }
+
+    #[test]
+    fn fake_swap_is_caught() {
+        // A "SWAP" implemented with only 2 CNOTs is not a swap; the replay
+        // check would trust the gate label, the simulator does not.
+        let mut original = Circuit::new(2);
+        original.cx(Qubit(0), Qubit(1));
+        let mut routed = Circuit::new(2);
+        routed.cx(Qubit(0), Qubit(1));
+        routed.cx(Qubit(1), Qubit(0)); // half a swap
+        let ident = identity_map(2);
+        let err = verify_semantics_small(&original, &routed, &ident, &ident).unwrap_err();
+        assert!(matches!(err, VerifyError::SemanticsDiffer { .. }));
+    }
+
+    #[test]
+    fn oversized_register_is_rejected() {
+        let original = Circuit::new(13);
+        let routed = Circuit::new(13);
+        let ident = identity_map(13);
+        let err = verify_semantics_small(&original, &routed, &ident, &ident).unwrap_err();
+        assert!(matches!(err, VerifyError::TooLargeToSimulate { .. }));
+    }
+
+    #[test]
+    fn rotation_angles_are_compared() {
+        let mut original = Circuit::new(1);
+        original.rz(Qubit(0), 0.5);
+        let mut routed = Circuit::new(1);
+        routed.rz(Qubit(0), 0.6); // wrong angle
+        let ident = identity_map(1);
+        let err = verify_semantics_small(&original, &routed, &ident, &ident).unwrap_err();
+        assert!(matches!(err, VerifyError::SemanticsDiffer { .. }));
+    }
+}

@@ -1,0 +1,63 @@
+//! Route the 20-qubit Quantum Fourier Transform — the hardest Table II
+//! workload (all-to-all interactions on every physical qubit of the
+//! device) — and compare against the greedy and trivial baselines.
+//!
+//! ```text
+//! cargo run --release --example qft_routing
+//! ```
+
+use sabre::{SabreConfig, SabreRouter};
+use sabre_baseline::{greedy, trivial};
+use sabre_benchgen::qft;
+use sabre_topology::devices;
+use sabre_verify::verify_routed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = devices::ibm_q20_tokyo();
+    let graph = device.graph();
+    let circuit = qft::qft(20);
+    println!(
+        "qft_20: {} gates ({} CNOTs), depth {}",
+        circuit.num_gates(),
+        circuit.num_two_qubit_gates(),
+        circuit.depth()
+    );
+
+    let router = SabreRouter::new(graph.clone(), SabreConfig::default())?;
+    let sabre = router.route(&circuit)?;
+    let greedy_out = greedy::route(&circuit, graph);
+    let trivial_out = trivial::route(&circuit, graph);
+
+    println!("\n{:<10} {:>12} {:>10}", "router", "added gates", "depth");
+    for (name, routed) in [
+        ("sabre", &sabre.best),
+        ("greedy", &greedy_out),
+        ("trivial", &trivial_out),
+    ] {
+        // Never print an unverified number.
+        verify_routed(
+            &circuit,
+            &routed.physical,
+            routed.initial_layout.logical_to_physical(),
+            routed.final_layout.logical_to_physical(),
+            graph,
+        )?;
+        println!(
+            "{:<10} {:>12} {:>10}",
+            name,
+            routed.added_gates(),
+            routed.depth()
+        );
+    }
+
+    assert!(
+        sabre.best.added_gates() <= greedy_out.added_gates(),
+        "SABRE should beat the greedy baseline on QFT"
+    );
+    println!(
+        "\nSABRE inserted {:.1}% fewer gates than greedy and {:.1}% fewer than trivial.",
+        100.0 * (1.0 - sabre.best.added_gates() as f64 / greedy_out.added_gates() as f64),
+        100.0 * (1.0 - sabre.best.added_gates() as f64 / trivial_out.added_gates() as f64),
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Defense in depth: verify a routed circuit three ways.
+//!
+//! 1. hardware compliance (every CNOT on a coupled pair),
+//! 2. permutation replay against the original dependency DAG,
+//! 3. full state-vector equivalence (small registers only).
+//!
+//! ```text
+//! cargo run --release --example verified_routing
+//! ```
+
+use sabre::{SabreConfig, SabreRouter};
+use sabre_benchgen::random;
+use sabre_topology::devices;
+use sabre_verify::{check_compliance, verify_routed, verify_semantics_small};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An adversarial workload: dense random two-qubit traffic on a sparse
+    // line, so plenty of SWAPs are needed.
+    let device = devices::linear(8);
+    let circuit = random::random_circuit(8, 120, 0.7, 42);
+
+    let router = SabreRouter::new(device.graph().clone(), SabreConfig::default())?;
+    let result = router.route(&circuit)?;
+    let routed = &result.best;
+    println!(
+        "routed {} gates with {} SWAPs on {}",
+        circuit.num_gates(),
+        routed.num_swaps,
+        device.name()
+    );
+
+    check_compliance(&routed.physical, device.graph())?;
+    println!("✓ hardware compliance");
+
+    let report = verify_routed(
+        &circuit,
+        &routed.physical,
+        routed.initial_layout.logical_to_physical(),
+        routed.final_layout.logical_to_physical(),
+        device.graph(),
+    )?;
+    println!(
+        "✓ permutation replay ({} gates, {} SWAPs re-enacted)",
+        report.gates_replayed, report.swaps_replayed
+    );
+
+    verify_semantics_small(
+        &circuit,
+        &routed.physical,
+        routed.initial_layout.logical_to_physical(),
+        routed.final_layout.logical_to_physical(),
+    )?;
+    println!("✓ state-vector equivalence (2^8 basis states, global phase aware)");
+
+    println!("\nall three checks passed — the routed circuit is provably faithful");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate for the SABRE qubit-mapping reproduction.
+//!
+//! This crate re-exports the public surface of every member crate so that
+//! the root-level integration tests and examples can exercise the whole
+//! system through one dependency. Library users should depend on the
+//! individual crates ([`sabre`], [`sabre_circuit`], ...) directly.
+
+pub use sabre;
+pub use sabre_baseline;
+pub use sabre_benchgen;
+pub use sabre_circuit;
+pub use sabre_qasm;
+pub use sabre_sim;
+pub use sabre_topology;
+pub use sabre_verify;

@@ -1,0 +1,247 @@
+//! Failure injection: corrupt a *correct* routed circuit in every way a
+//! buggy router could, and assert the verifier catches each one. This is
+//! the test of the tests — a verifier that waves through corrupted output
+//! would silently invalidate every experiment in the repository.
+
+use sabre::{RoutedCircuit, SabreConfig, SabreRouter};
+use sabre_benchgen::random;
+use sabre_circuit::{Circuit, Gate, Qubit, TwoQubitKind};
+use sabre_topology::{devices, CouplingGraph};
+use sabre_verify::{verify_routed, verify_semantics_small, VerifyError};
+
+/// A known-good routing to corrupt: dense traffic on a sparse device so
+/// plenty of SWAPs exist to tamper with.
+fn good_routing() -> (Circuit, RoutedCircuit, CouplingGraph) {
+    let device = devices::linear(7);
+    let circuit = random::random_circuit(7, 60, 0.7, 7);
+    let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+    let routed = router.route(&circuit).unwrap().best;
+    assert!(routed.num_swaps > 0, "fixture must contain swaps to corrupt");
+    (circuit, routed, device.graph().clone())
+}
+
+fn check(original: &Circuit, routed: &RoutedCircuit, graph: &CouplingGraph) -> Result<(), VerifyError> {
+    verify_routed(
+        original,
+        &routed.physical,
+        routed.initial_layout.logical_to_physical(),
+        routed.final_layout.logical_to_physical(),
+        graph,
+    )
+    .map(|_| ())
+}
+
+fn rebuild_with_gates(routed: &RoutedCircuit, gates: Vec<Gate>) -> RoutedCircuit {
+    let mut physical = Circuit::with_name(routed.physical.num_qubits(), routed.physical.name());
+    physical.extend(gates);
+    RoutedCircuit {
+        physical,
+        ..routed.clone()
+    }
+}
+
+#[test]
+fn untouched_routing_passes() {
+    let (original, routed, graph) = good_routing();
+    assert!(check(&original, &routed, &graph).is_ok());
+}
+
+#[test]
+fn dropping_any_single_gate_is_caught() {
+    let (original, routed, graph) = good_routing();
+    for drop_idx in 0..routed.physical.num_gates() {
+        let gates: Vec<Gate> = routed
+            .physical
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != drop_idx)
+            .map(|(_, g)| *g)
+            .collect();
+        let corrupted = rebuild_with_gates(&routed, gates);
+        assert!(
+            check(&original, &corrupted, &graph).is_err(),
+            "dropping gate {drop_idx} went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn duplicating_a_gate_is_caught() {
+    let (original, routed, graph) = good_routing();
+    // Duplicate the first non-swap gate (duplicating a SWAP changes the
+    // permutation and is caught as a layout mismatch; a non-swap duplicate
+    // must be caught as an unexpected/unready gate).
+    let dup_idx = routed
+        .physical
+        .gates()
+        .iter()
+        .position(|g| !g.is_swap())
+        .expect("routing contains non-swap gates");
+    let mut gates = routed.physical.gates().to_vec();
+    gates.insert(dup_idx, gates[dup_idx]);
+    let corrupted = rebuild_with_gates(&routed, gates);
+    assert!(check(&original, &corrupted, &graph).is_err());
+}
+
+#[test]
+fn swapping_two_dependent_gates_is_caught() {
+    let (original, routed, graph) = good_routing();
+    // Find two adjacent non-swap gates sharing a wire and flip them.
+    let gates = routed.physical.gates().to_vec();
+    for i in 0..gates.len() - 1 {
+        let (a, b) = (&gates[i], &gates[i + 1]);
+        if a.is_swap() || b.is_swap() {
+            continue;
+        }
+        let shares_wire = {
+            let (x, y) = a.qubits();
+            b.acts_on(x) || y.map_or(false, |y| b.acts_on(y))
+        };
+        let differ = a != b;
+        if shares_wire && differ {
+            let mut mutated = gates.clone();
+            mutated.swap(i, i + 1);
+            let corrupted = rebuild_with_gates(&routed, mutated);
+            assert!(
+                check(&original, &corrupted, &graph).is_err(),
+                "reordering dependent gates {i},{} went unnoticed",
+                i + 1
+            );
+            return;
+        }
+    }
+    panic!("fixture had no adjacent dependent gate pair");
+}
+
+#[test]
+fn flipping_cx_direction_is_caught() {
+    let (original, routed, graph) = good_routing();
+    let flip_idx = routed
+        .physical
+        .gates()
+        .iter()
+        .position(|g| matches!(g, Gate::Two { kind: TwoQubitKind::Cx, .. }) && !g.is_swap())
+        .expect("routing contains a CX");
+    let mut gates = routed.physical.gates().to_vec();
+    if let Gate::Two { kind, a, b, params } = gates[flip_idx] {
+        gates[flip_idx] = Gate::Two {
+            kind,
+            a: b,
+            b: a,
+            params,
+        };
+    }
+    let corrupted = rebuild_with_gates(&routed, gates);
+    assert!(check(&original, &corrupted, &graph).is_err());
+}
+
+#[test]
+fn retargeting_a_gate_is_caught() {
+    let (original, routed, graph) = good_routing();
+    // Move a single-qubit gate to a different wire.
+    let idx = routed
+        .physical
+        .gates()
+        .iter()
+        .position(|g| g.qubits().1.is_none())
+        .expect("routing contains a 1q gate");
+    let mut gates = routed.physical.gates().to_vec();
+    if let Gate::One { kind, qubit, params } = gates[idx] {
+        let other = Qubit((qubit.0 + 1) % routed.physical.num_qubits());
+        gates[idx] = Gate::One {
+            kind,
+            qubit: other,
+            params,
+        };
+    }
+    let corrupted = rebuild_with_gates(&routed, gates);
+    assert!(check(&original, &corrupted, &graph).is_err());
+}
+
+#[test]
+fn lying_about_the_initial_layout_is_caught() {
+    let (original, routed, graph) = good_routing();
+    let mut wrong = routed.initial_layout.logical_to_physical().to_vec();
+    wrong.swap(0, 1);
+    let result = verify_routed(
+        &original,
+        &routed.physical,
+        &wrong,
+        routed.final_layout.logical_to_physical(),
+        &graph,
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn lying_about_the_final_layout_is_caught() {
+    let (original, routed, graph) = good_routing();
+    let mut wrong = routed.final_layout.logical_to_physical().to_vec();
+    wrong.swap(2, 3);
+    let result = verify_routed(
+        &original,
+        &routed.physical,
+        routed.initial_layout.logical_to_physical(),
+        &wrong,
+        &graph,
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn uncoupled_gate_is_caught_even_when_replay_would_pass() {
+    // A "routing" that is semantically right but physically illegal: the
+    // identity transformation is a perfect replay of the original, yet
+    // CX(0,2) cannot execute on a line.
+    let rich = devices::complete(4);
+    let sparse = devices::linear(4);
+    let mut original = Circuit::new(4);
+    original.cx(Qubit(0), Qubit(2));
+    let identity: Vec<Qubit> = (0..4).map(Qubit).collect();
+    assert!(verify_routed(&original, &original, &identity, &identity, rich.graph()).is_ok());
+    assert!(matches!(
+        verify_routed(&original, &original, &identity, &identity, sparse.graph()),
+        Err(VerifyError::UncoupledGate { .. })
+    ));
+}
+
+#[test]
+fn simulator_catches_what_replay_cannot() {
+    // Replace a SWAP with 2 of its 3 CNOTs. The replay check trusts the
+    // `swap` label and would reject this as an unexpected gate — but a
+    // router emitting *unlabeled* wrong decompositions can only be caught
+    // semantically.
+    let device = devices::linear(3);
+    let mut original = Circuit::new(3);
+    original.cx(Qubit(0), Qubit(2));
+    let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+    let routed = router.route(&original).unwrap().best;
+
+    // Decompose SWAPs correctly: simulator must accept.
+    let correct = routed.decomposed();
+    assert!(verify_semantics_small(
+        &original,
+        &correct,
+        routed.initial_layout.logical_to_physical(),
+        routed.final_layout.logical_to_physical(),
+    )
+    .is_ok());
+
+    // Break one CNOT of one decomposed SWAP: simulator must reject.
+    let mut gates = correct.gates().to_vec();
+    let cx_idx = gates
+        .iter()
+        .position(|g| g.is_two_qubit())
+        .expect("decomposed circuit has CNOTs");
+    gates.remove(cx_idx);
+    let mut broken = Circuit::new(correct.num_qubits());
+    broken.extend(gates);
+    assert!(verify_semantics_small(
+        &original,
+        &broken,
+        routed.initial_layout.logical_to_physical(),
+        routed.final_layout.logical_to_physical(),
+    )
+    .is_err());
+}

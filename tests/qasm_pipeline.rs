@@ -1,0 +1,86 @@
+//! QASM ↔ IR ↔ router pipeline integration.
+
+use sabre::{SabreConfig, SabreRouter};
+use sabre_benchgen::registry;
+use sabre_qasm::{parse, parse_program, to_qasm};
+use sabre_topology::devices;
+use sabre_verify::verify_routed;
+
+/// Every registry benchmark round-trips through OpenQASM text exactly.
+#[test]
+fn registry_circuits_round_trip_through_qasm() {
+    for spec in registry::table2() {
+        if spec.paper.g_ori > 1200 {
+            continue;
+        }
+        let circuit = spec.generate();
+        let text = to_qasm(&circuit);
+        let mut parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        parsed.set_name(spec.name); // names travel as comments, not semantics
+        assert_eq!(parsed, circuit, "{}", spec.name);
+    }
+}
+
+/// A circuit parsed from QASM routes and verifies like a generated one.
+#[test]
+fn parsed_circuit_routes_and_verifies() {
+    let source = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg a[3];
+        qreg b[3];
+        creg c[6];
+        h a;
+        cx a[0], b[0];
+        cx a[1], b[1];
+        cx a[2], b[2];
+        barrier a;
+        rz(pi/4) b[0];
+        cx a[0], b[2];
+        cx b[0], a[2];
+        measure a[0] -> c[0];
+    "#;
+    let program = parse_program(source).unwrap();
+    assert_eq!(program.skipped_measurements, 1);
+    assert_eq!(program.skipped_barriers, 1);
+    assert_eq!(
+        program.quantum_registers,
+        vec![("a".to_string(), 3), ("b".to_string(), 3)]
+    );
+
+    let circuit = program.circuit;
+    let device = devices::ibm_qx5();
+    let router = SabreRouter::new(device.graph().clone(), SabreConfig::paper()).unwrap();
+    let result = router.route(&circuit).unwrap();
+    verify_routed(
+        &circuit,
+        &result.best.physical,
+        result.best.initial_layout.logical_to_physical(),
+        result.best.final_layout.logical_to_physical(),
+        device.graph(),
+    )
+    .unwrap();
+}
+
+/// Routed output serializes to QASM that parses back to the same circuit.
+#[test]
+fn routed_output_round_trips() {
+    let spec = registry::by_name("qft_10").unwrap();
+    let circuit = spec.generate();
+    let device = devices::ibm_q20_tokyo();
+    let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+    let routed = router.route(&circuit).unwrap().best;
+
+    // With SWAPs kept as `swap` gates...
+    let text = to_qasm(&routed.physical);
+    let mut parsed = parse(&text).unwrap();
+    parsed.set_name(routed.physical.name());
+    assert_eq!(parsed, routed.physical);
+
+    // ...and in the elementary set after decomposition.
+    let decomposed = routed.decomposed();
+    let text = to_qasm(&decomposed);
+    let reparsed = parse(&text).unwrap();
+    assert_eq!(reparsed.num_swaps(), 0);
+    assert_eq!(reparsed.num_gates(), decomposed.num_gates());
+}
