@@ -183,7 +183,13 @@ impl Bka {
         for (li, layer) in layers.iter().enumerate() {
             let next = layers.get(li + 1);
             let steps = self.solve_layer(
-                circuit, layer, next, &mut layout, li, &mut budget, &mut stats,
+                circuit,
+                layer,
+                next,
+                &mut layout,
+                li,
+                &mut budget,
+                &mut stats,
             )?;
             steps_per_layer.push(steps);
             stats.layers_processed += 1;
@@ -332,7 +338,9 @@ impl Bka {
         if self.satisfied(&gates, layout) {
             return Ok(Vec::new());
         }
-        let next_gates = next_layer.map(|l| gate_pairs(circuit, l)).unwrap_or_default();
+        let next_gates = next_layer
+            .map(|l| gate_pairs(circuit, l))
+            .unwrap_or_default();
 
         let mut open: BinaryHeap<SearchNode> = BinaryHeap::new();
         let mut best_g: HashMap<Vec<Qubit>, usize> = HashMap::new();
@@ -417,7 +425,7 @@ impl Bka {
             }
             let g = node.g + subset.len();
             let key = succ_layout.logical_to_physical().to_vec();
-            let improved = best_g.get(&key).map_or(true, |&old| g < old);
+            let improved = best_g.get(&key).is_none_or(|&old| g < old);
             if improved {
                 best_g.insert(key, g);
                 let mut steps = node.steps.clone();
@@ -432,8 +440,17 @@ impl Bka {
 
             // Recurse to grow the subset with further disjoint edges.
             self.expand_subsets(
-                node, candidates, i + 1, subset, used, gates, next_gates, open, best_g,
-                budget, stats,
+                node,
+                candidates,
+                i + 1,
+                subset,
+                used,
+                gates,
+                next_gates,
+                open,
+                best_g,
+                budget,
+                stats,
             )?;
 
             subset.pop();
@@ -443,11 +460,7 @@ impl Bka {
         Ok(())
     }
 
-    fn candidate_edges(
-        &self,
-        gates: &[(Qubit, Qubit)],
-        layout: &Layout,
-    ) -> Vec<(Qubit, Qubit)> {
+    fn candidate_edges(&self, gates: &[(Qubit, Qubit)], layout: &Layout) -> Vec<(Qubit, Qubit)> {
         let mut active = vec![false; self.graph.num_qubits() as usize];
         for &(a, b) in gates {
             active[layout.phys_of(a).index()] = true;
@@ -577,7 +590,9 @@ mod tests {
         let mut c = Circuit::new(8);
         let mut state: u64 = 0x12345678;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 8) as u32
         };
         for _ in 0..30 {

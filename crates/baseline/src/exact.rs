@@ -179,8 +179,8 @@ fn search(
             return Some(0);
         }
         let key = (encode(&layout), mask);
-        if !seen.contains_key(&key) {
-            seen.insert(key, 0);
+        if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+            e.insert(0);
             queue.push_back((layout, mask, 0));
         }
     }
@@ -197,8 +197,8 @@ fn search(
                 return Some(cost + 1);
             }
             let key = (encode(&next_layout), next_mask);
-            if !seen.contains_key(&key) {
-                seen.insert(key, cost + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+                e.insert(cost + 1);
                 queue.push_back((next_layout, next_mask, cost + 1));
             }
         }

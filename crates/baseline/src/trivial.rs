@@ -54,9 +54,7 @@ pub fn route_with_layout(
                 let gate = &circuit.gates()[idx];
                 let executable = match gate.qubits() {
                     (_, None) => true,
-                    (a, Some(b)) => {
-                        graph.are_coupled(layout.phys_of(a), layout.phys_of(b))
-                    }
+                    (a, Some(b)) => graph.are_coupled(layout.phys_of(a), layout.phys_of(b)),
                 };
                 if executable {
                     out.push(gate.map_qubits(|l| layout.phys_of(l)));
@@ -78,9 +76,7 @@ pub fn route_with_layout(
         let (a, b) = circuit.gates()[blocked].qubits();
         let b = b.expect("two-qubit gate");
         let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
-        let path = graph
-            .shortest_path(pa, pb)
-            .expect("connected device");
+        let path = graph.shortest_path(pa, pb).expect("connected device");
         for window in path.windows(2).take(path.len().saturating_sub(2)) {
             out.swap(window[0], window[1]);
             layout.swap_physical(window[0], window[1]);
@@ -140,7 +136,10 @@ mod tests {
             c.cx(Qubit(0), Qubit(5));
         }
         let r = route(&c, device.graph());
-        assert_eq!(r.num_swaps, 4, "first gate pays 4 swaps, then adjacency persists");
+        assert_eq!(
+            r.num_swaps, 4,
+            "first gate pays 4 swaps, then adjacency persists"
+        );
     }
 
     #[test]

@@ -19,9 +19,11 @@ fn bench_qft_sizes(c: &mut Criterion) {
         });
         // Full pipeline (t_op regime).
         let full = SabreRouter::new(device.graph().clone(), SabreConfig::paper()).unwrap();
-        group.bench_with_input(BenchmarkId::new("paper_pipeline", n), &circuit, |b, circ| {
-            b.iter(|| full.route(circ).unwrap().added_gates())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("paper_pipeline", n),
+            &circuit,
+            |b, circ| b.iter(|| full.route(circ).unwrap().added_gates()),
+        );
     }
     group.finish();
 }
@@ -57,5 +59,10 @@ fn bench_large_arithmetic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qft_sizes, bench_ising, bench_large_arithmetic);
+criterion_group!(
+    benches,
+    bench_qft_sizes,
+    bench_ising,
+    bench_large_arithmetic
+);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn main() {
     let names: Vec<&str> = if quick {
         vec!["qft_10", "rd84_142"]
     } else {
-        vec!["qft_10", "qft_13", "qft_16", "rd84_142", "radd_250", "z4_268", "sym6_145"]
+        vec![
+            "qft_10", "qft_13", "qft_16", "rd84_142", "radd_250", "z4_268", "sym6_145",
+        ]
     };
 
     let single = |heuristic, restarts: usize, traversals: usize| SabreConfig {

@@ -45,7 +45,9 @@ fn main() {
         let d_ori = circuit.depth() as f64;
         println!(
             "{name} (n={}, g_ori={}, d_ori={}):",
-            spec.num_qubits, circuit.num_gates(), circuit.depth()
+            spec.num_qubits,
+            circuit.num_gates(),
+            circuit.depth()
         );
         println!(
             "  {:>8} {:>8} {:>8} {:>10} {:>10}",

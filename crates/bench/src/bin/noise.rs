@@ -17,8 +17,8 @@
 use sabre::{SabreConfig, SabreRouter};
 use sabre_bench::verify;
 use sabre_benchgen::registry;
-use sabre_topology::noise::NoiseModel;
 use sabre_topology::devices;
+use sabre_topology::noise::NoiseModel;
 
 fn main() {
     let device = devices::ibm_q20_tokyo();
@@ -34,7 +34,9 @@ fn main() {
     println!("{header}");
     println!("{}", "-".repeat(header.len()));
 
-    for name in ["qft_10", "qft_13", "qft_16", "rd84_142", "z4_268", "sym6_145"] {
+    for name in [
+        "qft_10", "qft_13", "qft_16", "rd84_142", "z4_268", "sym6_145",
+    ] {
         let spec = registry::by_name(name).expect("registry name");
         let circuit = spec.generate();
 

@@ -25,7 +25,10 @@ fn main() {
     let sizes = [10u32, 13, 16, 20];
 
     println!("Scalability reproduction (paper §V-B) — IBM Q20 Tokyo");
-    println!("BKA node budget = {} (memory proxy)\n", BkaConfig::default().node_budget);
+    println!(
+        "BKA node budget = {} (memory proxy)\n",
+        BkaConfig::default().node_budget
+    );
     let header = format!(
         "{:<16} {:>3} {:>6} | {:>10} {:>12} {:>9} | {:>9} {:>9}",
         "benchmark", "n", "g_ori", "bka_gadd", "bka_nodes", "bka_t(s)", "sabre_gop", "sabre_t(s)"

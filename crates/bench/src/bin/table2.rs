@@ -41,11 +41,12 @@ fn main() {
     let device = devices::ibm_q20_tokyo();
     let graph = device.graph();
 
-    println!("Table II reproduction — IBM Q20 Tokyo, {} benchmarks", registry::table2().len());
-    println!("SABRE: |E|=20, W=0.5, δ=0.001, 5 restarts × 3 traversals (paper §V)");
     println!(
-        "BKA:   layer A* with concurrent-SWAP expansion, node budget = {node_budget}\n"
+        "Table II reproduction — IBM Q20 Tokyo, {} benchmarks",
+        registry::table2().len()
     );
+    println!("SABRE: |E|=20, W=0.5, δ=0.001, 5 restarts × 3 traversals (paper §V)");
+    println!("BKA:   layer A* with concurrent-SWAP expansion, node budget = {node_budget}\n");
 
     let header = format!(
         "{:<6} {:<15} {:>3} {:>6} | {:>9} {:>8} | {:>7} {:>7} {:>8} | {:>7} | paper: {:>7} {:>6} {:>6}",
@@ -73,9 +74,7 @@ fn main() {
                 format!("{}", measurement.added_gates),
                 fmt_secs(measurement.elapsed),
             ),
-            BkaMeasurement::OutOfMemory { elapsed, .. } => {
-                ("OOM".to_string(), fmt_secs(*elapsed))
-            }
+            BkaMeasurement::OutOfMemory { elapsed, .. } => ("OOM".to_string(), fmt_secs(*elapsed)),
         };
 
         // --- SABRE (paper configuration) ---

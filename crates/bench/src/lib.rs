@@ -74,11 +74,7 @@ pub fn measure_sabre(
 }
 
 /// Runs BKA with the given budget, verifying on success.
-pub fn measure_bka(
-    circuit: &Circuit,
-    graph: &CouplingGraph,
-    config: BkaConfig,
-) -> BkaMeasurement {
+pub fn measure_bka(circuit: &Circuit, graph: &CouplingGraph, config: BkaConfig) -> BkaMeasurement {
     let bka = Bka::new(graph.clone(), config);
     let start = Instant::now();
     match bka.route(circuit) {

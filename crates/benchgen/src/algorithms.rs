@@ -146,7 +146,7 @@ mod tests {
         let c = bernstein_vazirani(3, secret);
         let state = StateVector::zero(4).evolved(&c);
         // Input register = bits 0..3 of the index; ancilla is in |−⟩.
-        let mut prob_secret = 0.0;
+        let mut prob_secret = 0.0f64;
         for idx in 0..16usize {
             if (idx & 0b111) == secret as usize {
                 prob_secret += state.probability(idx);

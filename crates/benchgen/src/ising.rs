@@ -88,10 +88,7 @@ mod tests {
         for (n, steps) in [(5u32, 3u32), (10, 13), (16, 13)] {
             let c = ising_chain(n, steps);
             assert_eq!(c.num_gates(), (steps * (4 * n - 3)) as usize);
-            assert_eq!(
-                c.num_two_qubit_gates(),
-                (steps * 2 * (n - 1)) as usize
-            );
+            assert_eq!(c.num_two_qubit_gates(), (steps * 2 * (n - 1)) as usize);
         }
     }
 

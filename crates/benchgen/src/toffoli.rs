@@ -83,9 +83,7 @@ pub fn toffoli_network(config: NetworkConfig, seed: u64) -> Circuit {
     let mut prev: Option<[Qubit; 3]> = None;
     for _ in 0..config.num_toffolis {
         let pivot = match prev {
-            Some(wires) if rng.gen_bool(config.chain_bias) => {
-                wires[rng.gen_range(0..3)]
-            }
+            Some(wires) if rng.gen_bool(config.chain_bias) => wires[rng.gen_range(0..3usize)],
             _ => Qubit(rng.gen_range(0..n)),
         };
         let triple = pick_triple_near(&mut rng, n, pivot, config.window);

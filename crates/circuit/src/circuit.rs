@@ -332,7 +332,9 @@ impl fmt::Display for Circuit {
         writeln!(
             f,
             "circuit `{}`: {} qubits, {} gates",
-            self.name, self.num_qubits, self.num_gates()
+            self.name,
+            self.num_qubits,
+            self.num_gates()
         )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;

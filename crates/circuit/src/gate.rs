@@ -114,10 +114,9 @@ impl OneQubitKind {
             OneQubitKind::Sdg => (OneQubitKind::S, false),
             OneQubitKind::T => (OneQubitKind::Tdg, false),
             OneQubitKind::Tdg => (OneQubitKind::T, false),
-            OneQubitKind::Rx
-            | OneQubitKind::Ry
-            | OneQubitKind::Rz
-            | OneQubitKind::P => (self, true),
+            OneQubitKind::Rx | OneQubitKind::Ry | OneQubitKind::Rz | OneQubitKind::P => {
+                (self, true)
+            }
             // U(θ,φ,λ)† = U(-θ,-λ,-φ); the swap of φ/λ is handled in
             // `Gate::adjoint` because it needs access to the parameters.
             OneQubitKind::U => (OneQubitKind::U, true),

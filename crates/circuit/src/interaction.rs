@@ -68,7 +68,10 @@ impl InteractionGraph {
 
     /// Degree of `q`: number of distinct partners.
     pub fn degree(&self, q: Qubit) -> usize {
-        self.weights.keys().filter(|(a, b)| *a == q || *b == q).count()
+        self.weights
+            .keys()
+            .filter(|(a, b)| *a == q || *b == q)
+            .count()
     }
 
     /// Total interaction weight of `q` (counting multiplicity) — the count

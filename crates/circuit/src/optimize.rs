@@ -82,7 +82,7 @@ fn sweep(num_qubits: u32, gates: &mut [Option<Gate>], report: &mut OptimizeRepor
         for (j, slot) in gates.iter().enumerate().skip(i + 1) {
             let Some(next) = slot else { continue };
             let (na, nb) = next.qubits();
-            let touches = wires_seen[na.index()] || nb.map_or(false, |q| wires_seen[q.index()]);
+            let touches = wires_seen[na.index()] || nb.is_some_and(|q| wires_seen[q.index()]);
             if !touches {
                 continue;
             }
@@ -164,8 +164,7 @@ fn cancels(first: &Gate, second: &Gate) -> bool {
                 TwoQubitKind::Cx => same_order && p1 == p2,
                 TwoQubitKind::Cz | TwoQubitKind::Swap => same_order || flipped,
                 TwoQubitKind::Cp | TwoQubitKind::Rzz => {
-                    (same_order || flipped)
-                        && p1.as_slice()[0] == -p2.as_slice()[0]
+                    (same_order || flipped) && p1.as_slice()[0] == -p2.as_slice()[0]
                 }
             }
         }
@@ -183,7 +182,9 @@ fn merge(first: &Gate, second: &Gate) -> Option<Gate> {
                 params: p1,
             },
             Gate::One {
-                kind: k2, params: p2, ..
+                kind: k2,
+                params: p2,
+                ..
             },
         ) if k1 == k2 => match k1 {
             OneQubitKind::Rx | OneQubitKind::Ry | OneQubitKind::Rz | OneQubitKind::P => {

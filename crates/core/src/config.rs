@@ -64,6 +64,14 @@ pub struct SabreConfig {
     /// path. Never triggers on the paper's configuration (the stats report
     /// it so tests can assert that).
     pub livelock_slack: usize,
+    /// Node budget for the perfect-placement probe: before reporting, the
+    /// router spends at most this many backtracking steps searching for a
+    /// zero-SWAP embedding of the circuit's interaction graph
+    /// ([`sabre_topology::embedding`]) and uses it if found — realizing the
+    /// paper's §V-A1 observation that small benchmarks often admit a
+    /// perfect initial mapping, deterministically instead of by restart
+    /// luck. `0` disables the probe (pure multi-restart SABRE).
+    pub embedding_probe_budget: usize,
 }
 
 impl Default for SabreConfig {
@@ -78,6 +86,7 @@ impl Default for SabreConfig {
             num_traversals: 3,
             seed: 2019, // the paper's publication year; any value works
             livelock_slack: 10,
+            embedding_probe_budget: 50_000,
         }
     }
 }
@@ -124,7 +133,7 @@ impl SabreConfig {
         if self.num_restarts == 0 {
             return Err("num_restarts must be ≥ 1".into());
         }
-        if self.num_traversals == 0 || self.num_traversals % 2 == 0 {
+        if self.num_traversals == 0 || self.num_traversals.is_multiple_of(2) {
             return Err(format!(
                 "num_traversals must be odd (final pass routes the forward circuit), got {}",
                 self.num_traversals

@@ -159,7 +159,10 @@ mod tests {
         let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
         let routed = router.route(&circuit).unwrap().best;
         let (fixed, report) = fix_directions(&routed.physical, &model);
-        assert!(report.flipped_cx > 0, "some CNOT should run against the grain");
+        assert!(
+            report.flipped_cx > 0,
+            "some CNOT should run against the grain"
+        );
         for gate in &fixed {
             if let Gate::Two {
                 kind: TwoQubitKind::Cx,

@@ -198,12 +198,7 @@ mod tests {
         decay[0] = 1.2;
         decay[1] = 1.05;
         let score = score_swap(&inputs, &mut layout, &decay, (Qubit(0), Qubit(1)));
-        let base = score_swap(
-            &inputs,
-            &mut layout,
-            &vec![1.0; 4],
-            (Qubit(0), Qubit(1)),
-        );
+        let base = score_swap(&inputs, &mut layout, &[1.0; 4], (Qubit(0), Qubit(1)));
         assert!((score / base - 1.2).abs() < 1e-12);
     }
 

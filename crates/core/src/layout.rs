@@ -123,14 +123,9 @@ impl Layout {
     /// assertions use this.
     pub fn is_consistent(&self) -> bool {
         self.log_to_phys.len() == self.phys_to_log.len()
-            && self
-                .log_to_phys
-                .iter()
-                .enumerate()
-                .all(|(q, &p)| {
-                    p.index() < self.phys_to_log.len()
-                        && self.phys_to_log[p.index()] == Qubit(q as u32)
-                })
+            && self.log_to_phys.iter().enumerate().all(|(q, &p)| {
+                p.index() < self.phys_to_log.len() && self.phys_to_log[p.index()] == Qubit(q as u32)
+            })
     }
 }
 

@@ -52,6 +52,7 @@ pub mod direction;
 mod error;
 mod heuristic;
 mod layout;
+pub mod parallel;
 mod result;
 pub mod router;
 mod sabre;
@@ -60,6 +61,7 @@ pub mod transpile;
 pub use config::{HeuristicKind, SabreConfig};
 pub use error::RouteError;
 pub use layout::Layout;
+pub use parallel::transpile_batch;
 pub use result::{RoutedCircuit, SabreResult, TraversalReport};
 pub use sabre::SabreRouter;
 pub use transpile::{transpile, TranspileOptions, TranspileOutput};

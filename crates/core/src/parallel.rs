@@ -1,0 +1,210 @@
+//! Rayon-parallel multi-seed routing engine.
+//!
+//! SABRE's quality comes from running many independent trials — random
+//! initial mappings, each refined by bidirectional traversals — and
+//! keeping the best (paper §IV; trial count dominates result quality).
+//! Those trials share nothing but the router's immutable preprocessing
+//! (the distance/cost matrices built once in [`SabreRouter::new`]), so
+//! they parallelize perfectly:
+//!
+//! - [`SabreRouter::route_parallel`] fans the `num_restarts` trials of one
+//!   circuit across worker threads;
+//! - [`SabreRouter::route_batch`] routes many circuits at once, one trial
+//!   pipeline per circuit;
+//! - [`transpile_batch`] runs the full transpilation pipeline (route →
+//!   decompose → optimize → fix directions) over a whole corpus.
+//!
+//! # Determinism
+//!
+//! Every trial seeds its own RNG from `(config.seed, restart_index)` and
+//! results are reduced in restart order, so **parallel output is
+//! bit-identical to the sequential path** for a fixed seed — only the
+//! wall-clock `elapsed` field differs. Tests in `tests/parallel_engine.rs`
+//! pin this down, including a property test over trial counts.
+//!
+//! # Sharing
+//!
+//! Workers borrow the router (`&self`) across `rayon`'s scoped threads:
+//! one `DistanceMatrix`/`WeightedDistanceMatrix` serves every trial with
+//! zero copies or locks.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use sabre_circuit::Circuit;
+use sabre_topology::CouplingGraph;
+
+use crate::sabre::RestartOutcome;
+use crate::transpile::finish_routed;
+use crate::{RouteError, SabreResult, SabreRouter, TranspileOptions, TranspileOutput};
+
+impl SabreRouter {
+    /// [`SabreRouter::route`], with the `num_restarts` independent trials
+    /// running concurrently on the rayon pool.
+    ///
+    /// Produces the same [`SabreResult`] as the sequential path for a
+    /// fixed `config.seed` (modulo the wall-clock `elapsed` field); see
+    /// the [module docs](self) for why. Worth it when `num_restarts ×
+    /// circuit size` is large; for tiny circuits the thread fan-out can
+    /// cost more than the trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::DeviceTooSmall`] if the circuit has more
+    /// logical qubits than the device has physical qubits.
+    pub fn route_parallel(&self, circuit: &Circuit) -> Result<SabreResult, RouteError> {
+        self.check_fits(circuit)?;
+        let start = Instant::now();
+        let reversed = circuit.reversed();
+        let outcomes: Vec<RestartOutcome> = (0..self.config().num_restarts)
+            .into_par_iter()
+            .map(|restart| self.run_restart(circuit, &reversed, restart))
+            .collect();
+        Ok(self.assemble(circuit, outcomes, start))
+    }
+
+    /// Routes a batch of circuits concurrently — one full (sequential)
+    /// trial pipeline per circuit, circuits fanned across the pool. This
+    /// is the right granularity for corpus workloads: trials of the same
+    /// circuit stay on one worker (warm caches), distinct circuits load-
+    /// balance dynamically.
+    ///
+    /// `results[i]` corresponds to `circuits[i]`; each circuit fails or
+    /// succeeds independently.
+    pub fn route_batch(&self, circuits: &[Circuit]) -> Vec<Result<SabreResult, RouteError>> {
+        circuits
+            .par_iter()
+            .map(|circuit| self.route(circuit))
+            .collect()
+    }
+}
+
+/// Batch [`transpile`](crate::transpile()): builds the router (and its
+/// distance matrices) **once**, then runs the complete pipeline — route,
+/// decompose SWAPs, peephole-optimize, fix CNOT directions — for every
+/// circuit concurrently.
+///
+/// `results[i]` corresponds to `circuits[i]`; per-circuit routing errors
+/// (e.g. [`RouteError::DeviceTooSmall`]) land in that slot without
+/// poisoning the rest of the batch.
+///
+/// # Errors
+///
+/// Router construction problems ([`RouteError::InvalidConfig`],
+/// [`RouteError::DisconnectedDevice`]) fail the whole batch — they do not
+/// depend on any circuit.
+pub fn transpile_batch(
+    circuits: &[Circuit],
+    graph: &CouplingGraph,
+    options: &TranspileOptions,
+) -> Result<Vec<Result<TranspileOutput, RouteError>>, RouteError> {
+    let router = match &options.noise {
+        Some(noise) => SabreRouter::with_noise(graph.clone(), options.config, noise)?,
+        None => SabreRouter::new(graph.clone(), options.config)?,
+    };
+    Ok(circuits
+        .par_iter()
+        .map(|circuit| {
+            let result = router.route(circuit)?;
+            Ok(finish_routed(result.best, options))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SabreConfig;
+    use sabre_circuit::Qubit;
+    use sabre_topology::devices;
+
+    fn workload(n: u32, rounds: u32, stride: (u32, u32)) -> Circuit {
+        let mut c = Circuit::new(n);
+        for r in 0..rounds {
+            let a = (r * stride.0 + 3) % n;
+            let b = (r * stride.1 + 1) % n;
+            if a != b {
+                c.cx(Qubit(a), Qubit(b));
+            }
+        }
+        c
+    }
+
+    /// The deterministic fields of two results must agree exactly.
+    fn assert_same_result(a: &SabreResult, b: &SabreResult) {
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_restart, b.best_restart);
+        assert_eq!(a.perfect_placement, b.perfect_placement);
+        assert_eq!(a.traversals, b.traversals);
+        assert_eq!(a.first_traversal_added_gates, b.first_traversal_added_gates);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_paper_config() {
+        let device = devices::ibm_q20_tokyo();
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::paper()).unwrap();
+        let circuit = workload(12, 80, (5, 7));
+        let sequential = router.route(&circuit).unwrap();
+        let parallel = router.route_parallel(&circuit).unwrap();
+        assert_same_result(&sequential, &parallel);
+    }
+
+    #[test]
+    fn parallel_rejects_oversized_circuits_like_sequential() {
+        let device = devices::linear(3);
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        let circuit = workload(5, 10, (2, 3));
+        assert_eq!(
+            router.route_parallel(&circuit).unwrap_err(),
+            router.route(&circuit).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_errors() {
+        let device = devices::linear(4);
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        let circuits = vec![
+            workload(4, 12, (3, 2)),
+            workload(6, 12, (3, 2)), // too big for 4 physical qubits
+            workload(3, 6, (2, 1)),
+        ];
+        let results = router.route_batch(&circuits);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(RouteError::DeviceTooSmall {
+                required: 6,
+                available: 4
+            })
+        ));
+        // Slot 2 must match routing circuit 2 alone (order was kept).
+        let alone = router.route(&circuits[2]).unwrap();
+        assert_same_result(results[2].as_ref().unwrap(), &alone);
+    }
+
+    #[test]
+    fn transpile_batch_matches_single_transpile() {
+        let device = devices::ibm_q20_tokyo();
+        let options = TranspileOptions::default();
+        let circuits: Vec<Circuit> = (0..6).map(|i| workload(10, 40 + i, (5, 7))).collect();
+        let batch = transpile_batch(&circuits, device.graph(), &options).unwrap();
+        for (circuit, out) in circuits.iter().zip(&batch) {
+            let single = crate::transpile(circuit, device.graph(), &options).unwrap();
+            let out = out.as_ref().unwrap();
+            assert_eq!(out.circuit, single.circuit);
+            assert_eq!(out.initial_layout, single.initial_layout);
+            assert_eq!(out.final_layout, single.final_layout);
+            assert_eq!(out.swaps_inserted, single.swaps_inserted);
+            assert_eq!(out.gates_removed, single.gates_removed);
+        }
+    }
+
+    #[test]
+    fn transpile_batch_surfaces_construction_errors() {
+        let disconnected = sabre_topology::CouplingGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let err = transpile_batch(&[], &disconnected, &TranspileOptions::default()).unwrap_err();
+        assert_eq!(err, RouteError::DisconnectedDevice);
+    }
+}

@@ -89,8 +89,13 @@ pub struct TraversalReport {
 pub struct SabreResult {
     /// The best routing found (fewest added gates, ties broken by depth).
     pub best: RoutedCircuit,
-    /// Which restart produced `best`.
+    /// Which restart produced `best` — or, when [`Self::perfect_placement`]
+    /// is `true`, the best restart the embedding probe beat.
     pub best_restart: usize,
+    /// `best` came from the zero-SWAP perfect-placement probe
+    /// ([`crate::SabreConfig::embedding_probe_budget`]) rather than from a
+    /// random restart.
+    pub perfect_placement: bool,
     /// SWAP counts for every traversal of every restart.
     pub traversals: Vec<TraversalReport>,
     /// `g_la`-style metric: added gates of the best *first* traversal

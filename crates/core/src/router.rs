@@ -116,16 +116,17 @@ pub fn route_pass(
         let limit = 3 * n_phys as usize + config.livelock_slack;
         if swaps_since_progress >= limit {
             forced_routings += 1;
-            num_swaps += force_route(
-                circuit, graph, &mut layout, &mut out, front[0],
-            );
+            num_swaps += force_route(circuit, graph, &mut layout, &mut out, front[0]);
             swaps_since_progress = 0;
             continue;
         }
 
         let extended = dag.extended_set(circuit, &front, config.extended_set_size);
         let candidates = swap_candidates(circuit, graph, &layout, &front);
-        debug_assert!(!candidates.is_empty(), "connected device always has candidates");
+        debug_assert!(
+            !candidates.is_empty(),
+            "connected device always has candidates"
+        );
 
         let inputs = HeuristicInputs {
             dist,
@@ -261,10 +262,7 @@ mod tests {
     fn assert_compliant(routed: &Circuit, graph: &CouplingGraph) {
         for gate in routed {
             if let (a, Some(b)) = gate.qubits() {
-                assert!(
-                    graph.are_coupled(a, b),
-                    "gate {gate} on uncoupled pair"
-                );
+                assert!(graph.are_coupled(a, b), "gate {gate} on uncoupled pair");
             }
         }
     }
@@ -381,8 +379,7 @@ mod tests {
         let g = devices::linear(3);
         let dist = WeightedDistanceMatrix::hops(g.graph());
         // q0 on Q2, q1 on Q1: CX(q0,q1) is executable immediately.
-        let layout = Layout::from_logical_to_physical(vec![Qubit(2), Qubit(1), Qubit(0)])
-            .unwrap();
+        let layout = Layout::from_logical_to_physical(vec![Qubit(2), Qubit(1), Qubit(0)]).unwrap();
         let mut c = Circuit::new(3);
         c.cx(Qubit(0), Qubit(1));
         let mut rng = StdRng::seed_from_u64(0);
@@ -454,6 +451,9 @@ mod tests {
             );
         }
         // Q0 has degree 2, Q19 has degree 3 on Tokyo; 5 candidate edges.
-        assert_eq!(cands.len(), g.graph().degree(Qubit(0)) + g.graph().degree(Qubit(19)));
+        assert_eq!(
+            cands.len(),
+            g.graph().degree(Qubit(0)) + g.graph().degree(Qubit(19))
+        );
     }
 }

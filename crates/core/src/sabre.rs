@@ -2,12 +2,28 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sabre_circuit::interaction::InteractionGraph;
 use sabre_circuit::Circuit;
+use sabre_topology::embedding::{self, Embedding};
 use sabre_topology::noise::NoiseModel;
-use sabre_topology::{CouplingGraph, DistanceMatrix, WeightedDistanceMatrix};
+use sabre_topology::{CouplingGraph, DistanceMatrix, Qubit, WeightedDistanceMatrix};
 
 use crate::router::route_pass;
 use crate::{Layout, RouteError, RoutedCircuit, SabreConfig, SabreResult, TraversalReport};
+
+/// Everything one restart (random initial mapping + `num_traversals`
+/// bidirectional passes) produced. Restarts are fully independent — the
+/// unit of work both the sequential and the rayon-parallel pipelines
+/// distribute.
+#[derive(Clone, Debug)]
+pub(crate) struct RestartOutcome {
+    /// Best forward pass of this restart.
+    pub(crate) candidate: RoutedCircuit,
+    /// Telemetry for every traversal, in execution order.
+    pub(crate) reports: Vec<TraversalReport>,
+    /// SWAPs of this restart's very first (look-ahead) traversal.
+    pub(crate) first_traversal_swaps: usize,
+}
 
 /// The complete SABRE pipeline: preprocessing, multi-restart
 /// bidirectional traversal, and best-result selection (paper §IV).
@@ -124,6 +140,18 @@ impl SabreRouter {
     /// Returns [`RouteError::DeviceTooSmall`] if the circuit has more
     /// logical qubits than the device has physical qubits.
     pub fn route(&self, circuit: &Circuit) -> Result<SabreResult, RouteError> {
+        self.check_fits(circuit)?;
+        let start = Instant::now();
+        let reversed = circuit.reversed();
+        let outcomes: Vec<RestartOutcome> = (0..self.config.num_restarts)
+            .map(|restart| self.run_restart(circuit, &reversed, restart))
+            .collect();
+        Ok(self.assemble(circuit, outcomes, start))
+    }
+
+    /// Errors with [`RouteError::DeviceTooSmall`] if `circuit` has more
+    /// logical qubits than the device has physical ones.
+    pub(crate) fn check_fits(&self, circuit: &Circuit) -> Result<(), RouteError> {
         let n_phys = self.graph.num_qubits();
         if circuit.num_qubits() > n_phys {
             return Err(RouteError::DeviceTooSmall {
@@ -131,72 +159,179 @@ impl SabreRouter {
                 available: n_phys,
             });
         }
-        let start = Instant::now();
-        let reversed = circuit.reversed();
+        Ok(())
+    }
 
+    /// One independent restart: seed a per-restart RNG, draw a random
+    /// initial mapping, and run `num_traversals` alternating passes.
+    ///
+    /// The RNG stream depends only on `(config.seed, restart)`, never on
+    /// which thread runs the restart — this is what makes the parallel
+    /// engine ([`crate::parallel`]) bit-identical to the sequential loop.
+    pub(crate) fn run_restart(
+        &self,
+        circuit: &Circuit,
+        reversed: &Circuit,
+        restart: usize,
+    ) -> RestartOutcome {
+        let n_phys = self.graph.num_qubits();
+        // Distinct, deterministic stream per restart.
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add((restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let mut layout = Layout::random(n_phys, &mut rng);
+        let mut last_pass: Option<RoutedCircuit> = None;
+        let mut reports = Vec::with_capacity(self.config.num_traversals);
+        let mut first_traversal_swaps = 0;
+
+        for traversal in 0..self.config.num_traversals {
+            let is_reverse = traversal % 2 == 1;
+            let target = if is_reverse { reversed } else { circuit };
+            let pass = route_pass(
+                target,
+                &self.graph,
+                &self.cost,
+                layout,
+                &self.config,
+                &mut rng,
+            );
+            layout = pass.final_layout.clone();
+            reports.push(TraversalReport {
+                restart,
+                traversal,
+                reversed: is_reverse,
+                num_swaps: pass.num_swaps,
+            });
+            if traversal == 0 {
+                first_traversal_swaps = pass.num_swaps;
+            }
+            // Every *forward* pass yields a valid routing of the
+            // original circuit; keep whichever is best. (The reverse
+            // traversal usually improves the final pass, but on very
+            // long circuits an earlier pass can occasionally win — a
+            // production router should never return the worse one.)
+            if !is_reverse && is_better(&pass, last_pass.as_ref()) {
+                last_pass = Some(pass);
+            }
+        }
+
+        RestartOutcome {
+            candidate: last_pass.expect("traversal count is odd"),
+            reports,
+            first_traversal_swaps,
+        }
+    }
+
+    /// Folds restart outcomes (in restart order, so ties resolve exactly
+    /// like the sequential loop), then gives the embedding probe a chance
+    /// to beat them, and stamps the wall clock.
+    pub(crate) fn assemble(
+        &self,
+        circuit: &Circuit,
+        outcomes: Vec<RestartOutcome>,
+        start: Instant,
+    ) -> SabreResult {
         let mut best: Option<RoutedCircuit> = None;
         let mut best_restart = 0usize;
-        let mut traversals = Vec::with_capacity(self.config.num_restarts * self.config.num_traversals);
+        let mut traversals =
+            Vec::with_capacity(self.config.num_restarts * self.config.num_traversals);
         let mut first_traversal_swaps_best: Option<usize> = None;
 
-        for restart in 0..self.config.num_restarts {
-            // Distinct, deterministic stream per restart.
-            let mut rng = StdRng::seed_from_u64(
-                self.config
-                    .seed
-                    .wrapping_add((restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
-            let mut layout = Layout::random(n_phys, &mut rng);
-            let mut last_pass: Option<RoutedCircuit> = None;
+        for (restart, outcome) in outcomes.into_iter().enumerate() {
+            traversals.extend(outcome.reports);
+            first_traversal_swaps_best = Some(match first_traversal_swaps_best {
+                Some(prev) => prev.min(outcome.first_traversal_swaps),
+                None => outcome.first_traversal_swaps,
+            });
+            if is_better(&outcome.candidate, best.as_ref()) {
+                best = Some(outcome.candidate);
+                best_restart = restart;
+            }
+        }
 
-            for traversal in 0..self.config.num_traversals {
-                let is_reverse = traversal % 2 == 1;
-                let target = if is_reverse { &reversed } else { circuit };
+        let mut best = best.expect("at least one restart configured");
+        let mut perfect_placement = false;
+        // The probe runs *after* the restart search, not before: the
+        // first-traversal telemetry (the paper's g_la column in table2/
+        // smallopt) must reflect a real search even when an embedding
+        // exists, so embeddable circuits cannot short-circuit the
+        // restarts. Callers that only want `best` can skip the probe cost
+        // via `embedding_probe_budget: 0`; a cached per-interaction-graph
+        // verdict for service workloads is a ROADMAP open item.
+        //
+        // A restart that already hit zero SWAPs cannot be improved: a
+        // zero-SWAP routing is a wire relabeling, so its depth equals the
+        // input's and the probe could at best tie.
+        if best.num_swaps > 0 {
+            if let Some(candidate) = self.perfect_candidate(circuit) {
+                if is_better(&candidate, Some(&best)) {
+                    best = candidate;
+                    perfect_placement = true;
+                }
+            }
+        }
+
+        SabreResult {
+            best,
+            best_restart,
+            perfect_placement,
+            traversals,
+            first_traversal_added_gates: 3 * first_traversal_swaps_best.unwrap_or(0),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// The perfect-placement probe (paper §V-A1: small benchmarks often
+    /// admit a coupling subgraph "that can perfectly … match logical qubit
+    /// coupling; our algorithm can find such matching"). Spends at most
+    /// `config.embedding_probe_budget` backtracking steps looking for a
+    /// zero-SWAP embedding of the circuit's interaction graph; on success,
+    /// routes once from that placement (guaranteed SWAP-free).
+    fn perfect_candidate(&self, circuit: &Circuit) -> Option<RoutedCircuit> {
+        let budget = self.config.embedding_probe_budget;
+        if budget == 0 {
+            return None;
+        }
+        let pattern = InteractionGraph::of(circuit);
+        match embedding::find_embedding_within(&pattern, &self.graph, budget)? {
+            Embedding::Found(map) => {
+                let layout = self.complete_layout(&map);
+                let mut rng = StdRng::seed_from_u64(self.config.seed);
                 let pass = route_pass(
-                    target,
+                    circuit,
                     &self.graph,
                     &self.cost,
                     layout,
                     &self.config,
                     &mut rng,
                 );
-                layout = pass.final_layout.clone();
-                traversals.push(TraversalReport {
-                    restart,
-                    traversal,
-                    reversed: is_reverse,
-                    num_swaps: pass.num_swaps,
-                });
-                if traversal == 0 {
-                    first_traversal_swaps_best = Some(match first_traversal_swaps_best {
-                        Some(prev) => prev.min(pass.num_swaps),
-                        None => pass.num_swaps,
-                    });
-                }
-                // Every *forward* pass yields a valid routing of the
-                // original circuit; keep whichever is best. (The reverse
-                // traversal usually improves the final pass, but on very
-                // long circuits an earlier pass can occasionally win — a
-                // production router should never return the worse one.)
-                if !is_reverse && is_better(&pass, last_pass.as_ref()) {
-                    last_pass = Some(pass);
-                }
+                debug_assert_eq!(pass.num_swaps, 0, "embedding was not zero-SWAP");
+                Some(pass)
             }
-
-            let candidate = last_pass.expect("traversal count is odd");
-            if is_better(&candidate, best.as_ref()) {
-                best = Some(candidate);
-                best_restart = restart;
-            }
+            Embedding::Impossible => None,
         }
+    }
 
-        Ok(SabreResult {
-            best: best.expect("at least one restart configured"),
-            best_restart,
-            traversals,
-            first_traversal_added_gates: 3 * first_traversal_swaps_best.unwrap_or(0),
-            elapsed: start.elapsed(),
-        })
+    /// Extends a partial embedding (interacting logicals only) to a full
+    /// device-sized bijection: unassigned logical qubits take the free
+    /// physical qubits in ascending order (deterministic).
+    fn complete_layout(&self, map: &[Option<Qubit>]) -> Layout {
+        let n_phys = self.graph.num_qubits() as usize;
+        let mut used = vec![false; n_phys];
+        for phys in map.iter().flatten() {
+            used[phys.index()] = true;
+        }
+        let mut free = (0..n_phys as u32).map(Qubit).filter(|q| !used[q.index()]);
+        let logical_to_physical: Vec<Qubit> = (0..n_phys)
+            .map(|logical| match map.get(logical).copied().flatten() {
+                Some(phys) => phys,
+                None => free.next().expect("bijection leaves enough free qubits"),
+            })
+            .collect();
+        Layout::from_logical_to_physical(logical_to_physical)
+            .expect("embedding produces an injective placement")
     }
 
     /// Computes a high-quality **initial layout only** — the placement
@@ -375,13 +510,8 @@ mod tests {
         let mut c = Circuit::new(4);
         c.cx(Qubit(0), Qubit(3));
         // Place q0 and q3 adjacent up front: no swaps needed.
-        let layout = Layout::from_logical_to_physical(vec![
-            Qubit(1),
-            Qubit(0),
-            Qubit(3),
-            Qubit(2),
-        ])
-        .unwrap();
+        let layout =
+            Layout::from_logical_to_physical(vec![Qubit(1), Qubit(0), Qubit(3), Qubit(2)]).unwrap();
         let routed = router.route_with_layout(&c, layout).unwrap();
         assert_eq!(routed.num_swaps, 0);
     }
@@ -457,9 +587,7 @@ mod tests {
         let router = SabreRouter::with_noise(graph.clone(), config, &noise).unwrap();
         let mut c = Circuit::new(4);
         c.cx(Qubit(0), Qubit(2));
-        let routed = router
-            .route_with_layout(&c, Layout::identity(4))
-            .unwrap();
+        let routed = router.route_with_layout(&c, Layout::identity(4)).unwrap();
         assert_eq!(routed.num_swaps, 1);
         for gate in routed.physical.gates() {
             if gate.is_swap() {
@@ -476,11 +604,9 @@ mod tests {
     #[test]
     fn noise_aware_router_still_verifies() {
         let device = devices::ibm_q20_tokyo();
-        let noise =
-            sabre_topology::noise::NoiseModel::calibrated(device.graph(), 0.02, 4.0, 3);
+        let noise = sabre_topology::noise::NoiseModel::calibrated(device.graph(), 0.02, 4.0, 3);
         let router =
-            SabreRouter::with_noise(device.graph().clone(), SabreConfig::fast(), &noise)
-                .unwrap();
+            SabreRouter::with_noise(device.graph().clone(), SabreConfig::fast(), &noise).unwrap();
         let c = {
             let mut c = Circuit::new(12);
             for r in 0..80u32 {

@@ -84,8 +84,16 @@ pub fn transpile(
         None => SabreRouter::new(graph.clone(), options.config)?,
     };
     let result = router.route(circuit)?;
-    let routed = result.best;
+    Ok(finish_routed(result.best, options))
+}
 
+/// The post-routing stages shared by [`transpile`] and the batch pipeline
+/// ([`crate::parallel::transpile_batch`]): SWAP decomposition, peephole
+/// optimization, and direction fixing.
+pub(crate) fn finish_routed(
+    routed: crate::RoutedCircuit,
+    options: &TranspileOptions,
+) -> TranspileOutput {
     let mut hardware = routed.physical.with_swaps_decomposed();
     let mut gates_removed = 0;
     if !options.skip_optimizer {
@@ -107,22 +115,22 @@ pub fn transpile(
         }
     }
 
-    Ok(TranspileOutput {
+    TranspileOutput {
         circuit: hardware,
         initial_layout: routed.initial_layout,
         final_layout: routed.final_layout,
         swaps_inserted: routed.num_swaps,
         gates_removed,
         cnots_flipped,
-    })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sabre_circuit::Qubit;
-    use sabre_topology::direction::{ibm_qx5_directions, DirectionModel};
     use sabre_topology::devices;
+    use sabre_topology::direction::{ibm_qx5_directions, DirectionModel};
 
     fn workload(n: u32, rounds: u32) -> Circuit {
         let mut c = Circuit::new(n);
@@ -169,13 +177,11 @@ mod tests {
             },
         )
         .unwrap();
-        let optimized =
-            transpile(&circuit, device.graph(), &TranspileOptions::default()).unwrap();
+        let optimized = transpile(&circuit, device.graph(), &TranspileOptions::default()).unwrap();
         assert!(optimized.circuit.num_gates() <= raw.circuit.num_gates());
         assert_eq!(
             raw.circuit.num_gates() - optimized.circuit.num_gates(),
-            optimized.gates_removed
-                .saturating_sub(raw.gates_removed)
+            optimized.gates_removed.saturating_sub(raw.gates_removed)
         );
     }
 
@@ -225,10 +231,7 @@ mod tests {
     fn direction_fix_is_semantics_preserving_end_to_end() {
         use sabre_verify::verify_semantics_small;
         let device = devices::linear(5);
-        let model = DirectionModel::one_way(
-            device.graph(),
-            &[(0, 1), (2, 1), (2, 3), (4, 3)],
-        );
+        let model = DirectionModel::one_way(device.graph(), &[(0, 1), (2, 1), (2, 3), (4, 3)]);
         let circuit = workload(5, 30);
         let out = transpile(
             &circuit,

@@ -282,10 +282,7 @@ mod tests {
     fn arrow_and_minus() {
         assert_eq!(kinds("->")[0], TokenKind::Arrow);
         assert_eq!(kinds("-")[0], TokenKind::Minus);
-        assert_eq!(
-            kinds("a -> b")[1],
-            TokenKind::Arrow,
-        );
+        assert_eq!(kinds("a -> b")[1], TokenKind::Arrow,);
     }
 
     #[test]

@@ -104,7 +104,7 @@ mod tests {
         c.push(Gate::one(
             OneQubitKind::U,
             Qubit(0),
-            Params::three(1e-300, -2.5, 3.141592653589793),
+            Params::three(1e-300, -2.5, std::f64::consts::PI),
         ));
         c.push(Gate::two(
             TwoQubitKind::Cp,

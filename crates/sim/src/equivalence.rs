@@ -101,8 +101,16 @@ pub fn routed_equivalent(
     let n_log = original.num_qubits();
     let n_phys = routed.num_qubits();
     assert!(n_log <= n_phys, "device smaller than circuit");
-    assert_eq!(initial.len(), n_phys as usize, "initial mapping must cover all physical wires");
-    assert_eq!(final_.len(), n_phys as usize, "final mapping must cover all physical wires");
+    assert_eq!(
+        initial.len(),
+        n_phys as usize,
+        "initial mapping must cover all physical wires"
+    );
+    assert_eq!(
+        final_.len(),
+        n_phys as usize,
+        "final mapping must cover all physical wires"
+    );
 
     let dim = 1usize << n_log;
     let mut shared_phase: Option<Complex> = None;
@@ -230,9 +238,7 @@ mod tests {
         routed.cx(Qubit(0), Qubit(2));
         let initial: Vec<Qubit> = vec![Qubit(0), Qubit(1), Qubit(2)];
         let final_: Vec<Qubit> = vec![Qubit(0), Qubit(2), Qubit(1)];
-        assert!(
-            routed_equivalent(&original, &routed, &initial, &final_, TOL).is_equivalent()
-        );
+        assert!(routed_equivalent(&original, &routed, &initial, &final_, TOL).is_equivalent());
     }
 
     #[test]
@@ -246,8 +252,7 @@ mod tests {
         // Claim no permutation happened — must fail.
         let wrong_final: Vec<Qubit> = vec![Qubit(0), Qubit(1), Qubit(2)];
         assert!(
-            !routed_equivalent(&original, &routed, &initial, &wrong_final, TOL)
-                .is_equivalent()
+            !routed_equivalent(&original, &routed, &initial, &wrong_final, TOL).is_equivalent()
         );
     }
 
@@ -263,9 +268,7 @@ mod tests {
         routed.cx(Qubit(2), Qubit(0));
         let initial = vec![Qubit(2), Qubit(0), Qubit(1)];
         let final_ = initial.clone();
-        assert!(
-            routed_equivalent(&original, &routed, &initial, &final_, TOL).is_equivalent()
-        );
+        assert!(routed_equivalent(&original, &routed, &initial, &final_, TOL).is_equivalent());
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl StateVector {
             "dense simulation beyond {MAX_QUBITS} qubits is not supported"
         );
         let dim = 1usize << num_qubits;
-        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for {num_qubits} qubits"
+        );
         let mut amps = vec![Complex::ZERO; dim];
         amps[index] = Complex::ONE;
         StateVector { num_qubits, amps }
@@ -51,7 +54,10 @@ impl StateVector {
     /// Panics if the length is not `2^n` for some `n ≤ MAX_QUBITS`.
     pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
         let dim = amps.len();
-        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let num_qubits = dim.trailing_zeros();
         assert!(num_qubits <= MAX_QUBITS);
         StateVector { num_qubits, amps }
@@ -622,8 +628,8 @@ mod tests {
             for i in 0..2 {
                 for j in 0..2 {
                     let mut acc = Complex::ZERO;
-                    for k in 0..2 {
-                        acc += m[k][i].conj() * m[k][j];
+                    for row in &m {
+                        acc += row[i].conj() * row[j];
                     }
                     let expected = if i == j { 1.0 } else { 0.0 };
                     assert!(

@@ -140,9 +140,8 @@ pub fn ibm_qx2() -> Device {
 /// Panics if `n == 0`.
 pub fn linear(n: u32) -> Device {
     assert!(n > 0, "device must have at least one qubit");
-    let graph =
-        CouplingGraph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
-            .expect("generated edges are valid");
+    let graph = CouplingGraph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+        .expect("generated edges are valid");
     Device::new(format!("linear-{n}"), graph)
 }
 
@@ -190,8 +189,8 @@ pub fn grid(rows: u32, cols: u32) -> Device {
 /// Panics if `n < 2`.
 pub fn star(n: u32) -> Device {
     assert!(n >= 2, "a star needs at least 2 qubits");
-    let graph = CouplingGraph::from_edges(n, (1..n).map(|i| (0, i)))
-        .expect("generated edges are valid");
+    let graph =
+        CouplingGraph::from_edges(n, (1..n).map(|i| (0, i))).expect("generated edges are valid");
     Device::new(format!("star-{n}"), graph)
 }
 

@@ -143,7 +143,10 @@ impl WeightedDistanceMatrix {
         }
         for &(a, b) in graph.edges() {
             let w = weight(a, b);
-            assert!(w.is_finite() && w >= 0.0, "edge weights must be finite and ≥ 0");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "edge weights must be finite and ≥ 0"
+            );
             data[a.index() * n + b.index()] = w;
             data[b.index() * n + a.index()] = w;
         }
@@ -264,13 +267,19 @@ mod tests {
     fn floyd_warshall_matches_bfs() {
         let g = CouplingGraph::from_edges(
             7,
-            [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 6), (6, 4)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
         )
         .unwrap();
-        assert_eq!(
-            DistanceMatrix::floyd_warshall(&g),
-            DistanceMatrix::bfs(&g)
-        );
+        assert_eq!(DistanceMatrix::floyd_warshall(&g), DistanceMatrix::bfs(&g));
     }
 
     #[test]
@@ -313,7 +322,10 @@ mod tests {
         let w = WeightedDistanceMatrix::hops(&g);
         for i in 0..5u32 {
             for j in 0..5u32 {
-                assert_eq!(w.get(Qubit(i), Qubit(j)), f64::from(d.get(Qubit(i), Qubit(j))));
+                assert_eq!(
+                    w.get(Qubit(i), Qubit(j)),
+                    f64::from(d.get(Qubit(i), Qubit(j)))
+                );
             }
         }
     }

@@ -65,6 +65,21 @@ impl Embedding {
 /// assert!(embedding::find_embedding(&ig, tokyo.graph()).exists());
 /// ```
 pub fn find_embedding(pattern: &InteractionGraph, host: &CouplingGraph) -> Embedding {
+    find_embedding_within(pattern, host, usize::MAX)
+        .expect("unbounded embedding search cannot exhaust its budget")
+}
+
+/// Budget-bounded variant of [`find_embedding`] for latency-sensitive
+/// callers (e.g. the router's perfect-placement probe): the backtracking
+/// search gives up after `budget` node expansions.
+///
+/// Returns `None` when the budget ran out before the search reached a
+/// verdict — the circuit may or may not embed. A `Some` verdict is exact.
+pub fn find_embedding_within(
+    pattern: &InteractionGraph,
+    host: &CouplingGraph,
+    budget: usize,
+) -> Option<Embedding> {
     let n_pattern = pattern.num_qubits() as usize;
     let n_host = host.num_qubits() as usize;
 
@@ -73,13 +88,13 @@ pub fn find_embedding(pattern: &InteractionGraph, host: &CouplingGraph) -> Embed
         .filter(|&q| pattern.degree(Qubit(q as u32)) > 0)
         .collect();
     if active.len() > n_host {
-        return Embedding::Impossible;
+        return Some(Embedding::Impossible);
     }
     if pattern.max_degree() > host.max_degree() {
-        return Embedding::Impossible;
+        return Some(Embedding::Impossible);
     }
     if active.is_empty() {
-        return Embedding::Found(vec![None; n_pattern]);
+        return Some(Embedding::Found(vec![None; n_pattern]));
     }
 
     // Order active qubits by descending degree (most-constrained first),
@@ -108,17 +123,19 @@ pub fn find_embedding(pattern: &InteractionGraph, host: &CouplingGraph) -> Embed
 
     let mut assignment: Vec<Option<Qubit>> = vec![None; n_pattern];
     let mut used = vec![false; n_host];
-    if backtrack(
+    let mut fuel = budget;
+    match backtrack(
         &order,
         0,
         &pattern_adj,
         host,
         &mut assignment,
         &mut used,
+        &mut fuel,
     ) {
-        Embedding::Found(assignment)
-    } else {
-        Embedding::Impossible
+        Some(true) => Some(Embedding::Found(assignment)),
+        Some(false) => Some(Embedding::Impossible),
+        None => None,
     }
 }
 
@@ -152,6 +169,8 @@ fn connectivity_order(pattern: &InteractionGraph, active: &[usize]) -> Vec<usize
     order
 }
 
+/// `Some(found?)` when the search reached a verdict, `None` when `fuel`
+/// (decremented once per node expansion) ran out first.
 fn backtrack(
     order: &[usize],
     depth: usize,
@@ -159,16 +178,19 @@ fn backtrack(
     host: &CouplingGraph,
     assignment: &mut Vec<Option<Qubit>>,
     used: &mut Vec<bool>,
-) -> bool {
+    fuel: &mut usize,
+) -> Option<bool> {
     if depth == order.len() {
-        return true;
+        return Some(true);
     }
+    if *fuel == 0 {
+        return None;
+    }
+    *fuel -= 1;
     let q = order[depth];
     // Candidate hosts: neighbors of an already-placed pattern-neighbor if
     // one exists (massively prunes), otherwise all free hosts.
-    let placed_neighbor = pattern_adj[q]
-        .iter()
-        .find_map(|&p| assignment[p]);
+    let placed_neighbor = pattern_adj[q].iter().find_map(|&p| assignment[p]);
     let candidates: Vec<Qubit> = match placed_neighbor {
         Some(h) => host.neighbors(h).to_vec(),
         None => (0..host.num_qubits()).map(Qubit).collect(),
@@ -190,13 +212,15 @@ fn backtrack(
         }
         assignment[q] = Some(cand);
         used[cand.index()] = true;
-        if backtrack(order, depth + 1, pattern_adj, host, assignment, used) {
-            return true;
+        match backtrack(order, depth + 1, pattern_adj, host, assignment, used, fuel) {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => return None,
         }
         assignment[q] = None;
         used[cand.index()] = false;
     }
-    false
+    Some(false)
 }
 
 #[cfg(test)]
@@ -316,6 +340,31 @@ mod tests {
         assert!(is_embeddable(&ig, devices::ring(6).graph()));
         assert!(!is_embeddable(&ig, devices::linear(6).graph()));
         assert!(is_embeddable(&ig, devices::grid(2, 3).graph()));
+    }
+
+    #[test]
+    fn budgeted_search_gives_up_gracefully() {
+        let ig = ig_of_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let tokyo = devices::ibm_q20_tokyo();
+        // Zero fuel: no verdict on any instance that reaches the search.
+        assert_eq!(find_embedding_within(&ig, tokyo.graph(), 0), None);
+        // Ample fuel: same verdict as the unbounded search.
+        let bounded = find_embedding_within(&ig, tokyo.graph(), 1 << 20).unwrap();
+        assert_eq!(bounded, find_embedding(&ig, tokyo.graph()));
+        // Fast-rejects need no fuel at all.
+        let k5 = {
+            let mut pairs = Vec::new();
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    pairs.push((i, j));
+                }
+            }
+            ig_of_pairs(5, &pairs)
+        };
+        assert_eq!(
+            find_embedding_within(&k5, devices::linear(5).graph(), 0),
+            Some(Embedding::Impossible)
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl NoiseModel {
     ///
     /// Panics if the error rates are outside `[0, 1)`.
     pub fn uniform(graph: &CouplingGraph, two_qubit_error: f64, single_qubit_error: f64) -> Self {
-        assert!((0.0..1.0).contains(&two_qubit_error), "error must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&two_qubit_error),
+            "error must be in [0,1)"
+        );
         assert!(
             (0.0..1.0).contains(&single_qubit_error),
             "error must be in [0,1)"
@@ -64,10 +67,9 @@ impl NoiseModel {
             .iter()
             .map(|&(a, b)| {
                 // SplitMix64-style hash of (edge, seed) → uniform in [0,1).
-                let mut z = seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(
-                        ((a.0 as u64) << 32) | (b.0 as u64 + 1),
-                    ));
+                let mut z = seed.wrapping_add(
+                    0x9E37_79B9_7F4A_7C15u64.wrapping_mul(((a.0 as u64) << 32) | (b.0 as u64 + 1)),
+                );
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^= z >> 31;
@@ -194,8 +196,11 @@ mod tests {
     #[test]
     fn with_edge_error_overrides() {
         let device = devices::linear(3);
-        let noise = NoiseModel::uniform(device.graph(), 0.01, 0.001)
-            .with_edge_error(Qubit(1), Qubit(0), 0.2);
+        let noise = NoiseModel::uniform(device.graph(), 0.01, 0.001).with_edge_error(
+            Qubit(1),
+            Qubit(0),
+            0.2,
+        );
         assert_eq!(noise.edge_error(Qubit(0), Qubit(1)), 0.2);
         assert_eq!(noise.edge_error(Qubit(1), Qubit(2)), 0.01);
     }

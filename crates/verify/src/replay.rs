@@ -45,8 +45,8 @@ pub fn verify_routed(
             device_qubits: graph.num_qubits(),
         });
     }
-    let mut phys_to_log = invert(initial_map, n_phys)
-        .ok_or(VerifyError::InvalidMapping { which: "initial" })?;
+    let mut phys_to_log =
+        invert(initial_map, n_phys).ok_or(VerifyError::InvalidMapping { which: "initial" })?;
     let final_phys_to_log =
         invert(final_map, n_phys).ok_or(VerifyError::InvalidMapping { which: "final" })?;
 
@@ -196,7 +196,13 @@ mod tests {
             device.graph(),
         )
         .unwrap_err();
-        assert!(matches!(err, VerifyError::UnexpectedGate { routed_index: 0, .. }));
+        assert!(matches!(
+            err,
+            VerifyError::UnexpectedGate {
+                routed_index: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -281,8 +287,8 @@ mod tests {
         let original = Circuit::new(2);
         let routed = Circuit::new(2);
         let bad = vec![Qubit(0), Qubit(0)];
-        let err = verify_routed(&original, &routed, &bad, &identity_map(2), device.graph())
-            .unwrap_err();
+        let err =
+            verify_routed(&original, &routed, &bad, &identity_map(2), device.graph()).unwrap_err();
         assert_eq!(err, VerifyError::InvalidMapping { which: "initial" });
     }
 
@@ -295,9 +301,7 @@ mod tests {
         let mut routed = Circuit::new(3);
         routed.cx(Qubit(2), Qubit(1));
         let map = vec![Qubit(2), Qubit(1), Qubit(0)];
-        assert!(
-            verify_routed(&original, &routed, &map, &map, device.graph()).is_ok()
-        );
+        assert!(verify_routed(&original, &routed, &map, &map, device.graph()).is_ok());
     }
 
     #[test]

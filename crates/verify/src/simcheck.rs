@@ -33,9 +33,7 @@ pub fn verify_semantics_small(
     }
     match routed_equivalent(original, routed, initial_map, final_map, 1e-9) {
         UnitaryEquivalence::Equivalent => Ok(()),
-        UnitaryEquivalence::Different { witness } => {
-            Err(VerifyError::SemanticsDiffer { witness })
-        }
+        UnitaryEquivalence::Different { witness } => Err(VerifyError::SemanticsDiffer { witness }),
     }
 }
 

@@ -36,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //   1 - 3 - 5
     //   |       |
     //   2       6
-    let chip = CouplingGraph::from_edges(
-        7,
-        [(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)],
-    )?;
+    let chip = CouplingGraph::from_edges(7, [(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)])?;
 
     let circuit = parse(PROGRAM)?;
     println!(

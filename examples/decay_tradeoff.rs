@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!(
-        "\nSmall δ optimizes the gate count; larger δ spreads SWAPs over disjoint"
-    );
+    println!("\nSmall δ optimizes the gate count; larger δ spreads SWAPs over disjoint");
     println!("qubit pairs, shortening the schedule at the cost of a few more gates.");
     Ok(())
 }

@@ -27,17 +27,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.num_qubits()
     );
 
-    let hop = SabreRouter::new(graph.clone(), SabreConfig::default())?
-        .route(&circuit)?;
-    let fid = SabreRouter::with_noise(graph.clone(), SabreConfig::default(), &noise)?
-        .route(&circuit)?;
+    let hop = SabreRouter::new(graph.clone(), SabreConfig::default())?.route(&circuit)?;
+    let fid =
+        SabreRouter::with_noise(graph.clone(), SabreConfig::default(), &noise)?.route(&circuit)?;
 
     let hop_success = noise.success_probability(&hop.best.decomposed());
     let fid_success = noise.success_probability(&fid.best.decomposed());
 
-    println!("{:<22} {:>12} {:>16}", "heuristic", "added gates", "est. success");
-    println!("{:<22} {:>12} {:>16.3e}", "hop distance (paper)", hop.added_gates(), hop_success);
-    println!("{:<22} {:>12} {:>16.3e}", "fidelity-weighted", fid.added_gates(), fid_success);
+    println!(
+        "{:<22} {:>12} {:>16}",
+        "heuristic", "added gates", "est. success"
+    );
+    println!(
+        "{:<22} {:>12} {:>16.3e}",
+        "hop distance (paper)",
+        hop.added_gates(),
+        hop_success
+    );
+    println!(
+        "{:<22} {:>12} {:>16.3e}",
+        "fidelity-weighted",
+        fid.added_gates(),
+        fid_success
+    );
     println!(
         "\nfidelity-weighted routing changes estimated success by {:.1}x",
         fid_success / hop_success.max(f64::MIN_POSITIVE)

@@ -123,7 +123,10 @@ fn bka_oom_rows_match_paper() {
     };
     for name in ["ising_model_16", "qft_20"] {
         let spec = registry::by_name(name).unwrap();
-        assert!(spec.bka_out_of_memory(), "{name} is an OOM row in the paper");
+        assert!(
+            spec.bka_out_of_memory(),
+            "{name} is an OOM row in the paper"
+        );
         let result = Bka::new(graph.clone(), config).route(&spec.generate());
         assert!(
             matches!(result, Err(BkaError::MemoryLimitExceeded { .. })),

@@ -108,8 +108,7 @@ fn flexibility_across_device_zoo() {
         devices::linear(10),
         devices::star(11),
     ] {
-        let router =
-            SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
+        let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
         let result = router.route(&circuit).unwrap();
         verify_routed(
             &circuit,

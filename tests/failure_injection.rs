@@ -16,11 +16,18 @@ fn good_routing() -> (Circuit, RoutedCircuit, CouplingGraph) {
     let circuit = random::random_circuit(7, 60, 0.7, 7);
     let router = SabreRouter::new(device.graph().clone(), SabreConfig::fast()).unwrap();
     let routed = router.route(&circuit).unwrap().best;
-    assert!(routed.num_swaps > 0, "fixture must contain swaps to corrupt");
+    assert!(
+        routed.num_swaps > 0,
+        "fixture must contain swaps to corrupt"
+    );
     (circuit, routed, device.graph().clone())
 }
 
-fn check(original: &Circuit, routed: &RoutedCircuit, graph: &CouplingGraph) -> Result<(), VerifyError> {
+fn check(
+    original: &Circuit,
+    routed: &RoutedCircuit,
+    graph: &CouplingGraph,
+) -> Result<(), VerifyError> {
     verify_routed(
         original,
         &routed.physical,
@@ -96,7 +103,7 @@ fn swapping_two_dependent_gates_is_caught() {
         }
         let shares_wire = {
             let (x, y) = a.qubits();
-            b.acts_on(x) || y.map_or(false, |y| b.acts_on(y))
+            b.acts_on(x) || y.is_some_and(|y| b.acts_on(y))
         };
         let differ = a != b;
         if shares_wire && differ {
@@ -121,7 +128,15 @@ fn flipping_cx_direction_is_caught() {
         .physical
         .gates()
         .iter()
-        .position(|g| matches!(g, Gate::Two { kind: TwoQubitKind::Cx, .. }) && !g.is_swap())
+        .position(|g| {
+            matches!(
+                g,
+                Gate::Two {
+                    kind: TwoQubitKind::Cx,
+                    ..
+                }
+            ) && !g.is_swap()
+        })
         .expect("routing contains a CX");
     let mut gates = routed.physical.gates().to_vec();
     if let Gate::Two { kind, a, b, params } = gates[flip_idx] {
@@ -147,7 +162,12 @@ fn retargeting_a_gate_is_caught() {
         .position(|g| g.qubits().1.is_none())
         .expect("routing contains a 1q gate");
     let mut gates = routed.physical.gates().to_vec();
-    if let Gate::One { kind, qubit, params } = gates[idx] {
+    if let Gate::One {
+        kind,
+        qubit,
+        params,
+    } = gates[idx]
+    {
         let other = Qubit((qubit.0 + 1) % routed.physical.num_qubits());
         gates[idx] = Gate::One {
             kind,

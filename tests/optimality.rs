@@ -85,7 +85,11 @@ fn embeddable_instances_route_for_free() {
             "seed {seed}: generator promised embeddability"
         );
         let result = router.route(&circuit).unwrap();
-        assert_eq!(result.added_gates(), 0, "seed {seed}: sabre missed the free mapping");
+        assert_eq!(
+            result.added_gates(),
+            0,
+            "seed {seed}: sabre missed the free mapping"
+        );
     }
 }
 
@@ -108,5 +112,8 @@ fn figure3_walkthrough_matches_paper() {
     assert_eq!(optimal, 1);
     let router = SabreRouter::new(graph, SabreConfig::paper()).unwrap();
     let result = router.route(&c).unwrap();
-    assert_eq!(result.best.num_swaps, optimal, "sabre finds the known optimum");
+    assert_eq!(
+        result.best.num_swaps, optimal,
+        "sabre finds the known optimum"
+    );
 }

@@ -1,0 +1,379 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the property-testing surface the workspace uses: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), range and tuple
+//! strategies, [`prop_map`](strategy::Strategy::prop_map),
+//! [`collection::vec`], [`arbitrary::any`], and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! - **no shrinking** — a failing case prints its case index and the
+//!   generated input values to stderr (alongside the panic message)
+//!   instead of a minimized counterexample;
+//! - **deterministic seeding** — each test derives its RNG seed from the
+//!   test's name, so CI failures reproduce locally by just re-running
+//!   (set `PROPTEST_RNG_SEED` to explore different streams).
+//!
+//! Swapping back to the real crate is a one-line change in the root
+//! `Cargo.toml`; every API here is call-compatible with `proptest = "1"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub mod test_runner {
+    //! Execution of property tests: configuration and the case loop.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases to run per property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives one property: owns the RNG and the case budget.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Build a runner whose RNG seed derives from `test_name` (stable
+        /// across runs) xor the optional `PROPTEST_RNG_SEED` env override.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            // FNV-1a: no external hashing dependency, stable across runs.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            if let Some(extra) = std::env::var("PROPTEST_RNG_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                seed ^= extra;
+            }
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Number of cases this runner will generate.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The RNG strategies sample from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_numeric_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies per type.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Full-domain strategy for `T`; obtain via [`any`].
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut StdRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut StdRng) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` of values from `element`, with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Assert a condition inside a property; formats like [`assert!`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property; formats like [`assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Assert inequality inside a property; formats like [`assert_ne!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for __proptest_case in 0..runner.cases() {
+                    let __proptest_values = (
+                        $($crate::strategy::Strategy::sample(&($strat), runner.rng()),)*
+                    );
+                    let __proptest_inputs = format!("{:?}", __proptest_values);
+                    let ($($pat,)*) = __proptest_values;
+                    if let Err(payload) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    ) {
+                        eprintln!(
+                            "proptest: {} failed on case #{} with inputs {}",
+                            stringify!($name),
+                            __proptest_case,
+                            __proptest_inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u32..10, 0u32..10).prop_map(|(x, y)| (x * 2, y * 3)),
+            seed in any::<u64>(),
+        ) {
+            prop_assert_eq!(a % 2, 0);
+            prop_assert_eq!(b % 3, 0);
+            let _ = seed;
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in crate::collection::vec(0u32..5, 0..9)) {
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig::with_cases(1);
+        let mut r1 = TestRunner::new(cfg.clone(), "some_test");
+        let mut r2 = TestRunner::new(cfg, "some_test");
+        let s = 0u64..u64::MAX;
+        assert_eq!(s.sample(r1.rng()), s.sample(r2.rng()));
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the small parallel-iterator surface the workspace uses:
+//! `par_iter()` / `into_par_iter()` → `map` → `collect`, plus
+//! [`current_num_threads`] and [`join`]. Semantics match rayon where it
+//! matters for callers:
+//!
+//! - `collect` preserves input order regardless of execution order;
+//! - closures run concurrently on OS threads (a fresh scoped pool per
+//!   call — coarse-grained tasks only, which is exactly how the SABRE
+//!   trial loop uses it);
+//! - `RAYON_NUM_THREADS` caps the worker count, like the real crate.
+//!
+//! Swapping back to the real crate is a one-line change in the root
+//! `Cargo.toml`; every API here is call-compatible with `rayon = "1"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` / `.into_par_iter()` available.
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call will use: the smaller of
+/// `RAYON_NUM_THREADS` (if set and positive) and the machine parallelism.
+pub fn current_num_threads() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n.min(hw.max(1) * 4),
+        _ => hw,
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: worker panicked"))
+    })
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references, i.e. `par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type (a reference).
+    type Item: Send + 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel-iterate over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Drain this iterator into an ordered `Vec`, running the pipeline's
+    /// closures across worker threads.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Hint accepted for API compatibility; the shim always schedules one
+    /// item at a time (tasks here are coarse).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Collect into `C`, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Call `f` on every item (parallel for-each).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.map(f).run();
+    }
+}
+
+/// Source iterator over an owned, already-materialized list of items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+/// Order-preserving parallel map over `items`: workers pull indices from a
+/// shared atomic counter (dynamic load balancing for uneven tasks, e.g.
+/// routing circuits of very different sizes in one batch).
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("rayon shim: poisoned input slot")
+                        .take()
+                        .expect("rayon shim: item taken twice");
+                    let out = f(item);
+                    *results[i].lock().expect("rayon shim: poisoned output slot") = Some(out);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon shim: poisoned result")
+                .expect("rayon shim: missing result")
+        })
+        .collect()
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecParIter<$t>;
+            fn into_par_iter(self) -> VecParIter<$t> {
+                VecParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<u64> = (0u64..1000).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_iter_over_slices() {
+        let data = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
+        let doubled: Vec<usize> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10, 18, 4, 12]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            (0usize..64)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 33 {
+                        panic!("boom");
+                    }
+                    i
+                })
+                .collect::<Vec<_>>()
+        });
+        assert!(result.is_err());
+    }
+}
