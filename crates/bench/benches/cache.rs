@@ -1,0 +1,104 @@
+//! Cold vs warm `DeviceCache` acquisition.
+//!
+//! The cold path is `SabreRouter::new`: connectivity check plus two
+//! `O(N³)` Floyd–Warshall closures. The warm path is a fingerprint
+//! lookup, a structural verification (`O(E)`), and three `Arc` clones.
+//! Acceptance bar: warm acquisition of a preprocessed router is ≥10×
+//! faster than cold on Tokyo, and the gap widens with device size (on a
+//! 100-qubit grid the `N³/E` ratio is ~3 orders of magnitude).
+//!
+//! `noise_refresh` pins the calibration path: a full noise-aware
+//! construction (two weighted closures) vs `refresh_noise` on a warm
+//! device (one) vs re-acquiring an unchanged calibration (zero).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sabre::{DeviceCache, SabreConfig, SabreRouter};
+use sabre_topology::noise::NoiseModel;
+use sabre_topology::{devices, CouplingGraph};
+
+fn device_zoo() -> Vec<(&'static str, CouplingGraph)> {
+    vec![
+        ("tokyo20", devices::ibm_q20_tokyo().graph().clone()),
+        ("grid10x10", devices::grid(10, 10).graph().clone()),
+    ]
+}
+
+/// Router acquisition: the `O(N³)` cold path vs the cached warm path.
+fn bench_acquisition(c: &mut Criterion) {
+    let config = SabreConfig::paper();
+    let mut group = c.benchmark_group("router_acquisition");
+    for (name, graph) in device_zoo() {
+        group.bench_with_input(BenchmarkId::new("cold", name), &graph, |b, g| {
+            b.iter(|| SabreRouter::new(g.clone(), config).unwrap())
+        });
+        let cache = DeviceCache::new();
+        cache.router(&graph, config).unwrap(); // pre-warm
+        group.bench_with_input(BenchmarkId::new("warm", name), &graph, |b, g| {
+            b.iter(|| cache.router(g, config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Calibration ingestion: full rebuild vs weighted-matrix-only refresh vs
+/// warm re-acquisition of an unchanged calibration.
+fn bench_noise_refresh(c: &mut Criterion) {
+    let config = SabreConfig::paper();
+    let mut group = c.benchmark_group("noise_refresh");
+    for (name, graph) in device_zoo() {
+        let noise = NoiseModel::calibrated(&graph, 0.02, 4.0, 7);
+        group.bench_with_input(BenchmarkId::new("cold_full_build", name), &graph, |b, g| {
+            b.iter(|| SabreRouter::with_noise(g.clone(), config, &noise).unwrap())
+        });
+        let cache = DeviceCache::new();
+        cache.router(&graph, config).unwrap(); // warm device entry
+        group.bench_with_input(
+            BenchmarkId::new("refresh_weighted_only", name),
+            &graph,
+            |b, g| b.iter(|| cache.refresh_noise(g, &noise).unwrap()),
+        );
+        cache.refresh_noise(&graph, &noise).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("warm_unchanged_calibration", name),
+            &graph,
+            |b, g| b.iter(|| cache.router_with_noise(g, config, &noise).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Embedding-verdict reuse: `route()` of a non-embeddable circuit with a
+/// cold probe every call vs the cached verdict (zero backtracking).
+fn bench_verdict_cache(c: &mut Criterion) {
+    let tokyo = devices::ibm_q20_tokyo().graph().clone();
+    // K5 braid: cannot embed into Tokyo, so every uncached route pays the
+    // exhaustive Impossible proof.
+    let mut k5 = sabre_circuit::Circuit::new(5);
+    for a in 0..5u32 {
+        for b in (a + 1)..5 {
+            k5.cx(sabre_circuit::Qubit(a), sabre_circuit::Qubit(b));
+        }
+    }
+    let config = SabreConfig::paper();
+    let mut group = c.benchmark_group("embedding_probe");
+    group.sample_size(10);
+    let uncached = SabreRouter::new(tokyo.clone(), config).unwrap();
+    group.bench_function("route_nonembeddable_cold_probe", |b| {
+        b.iter(|| uncached.route(&k5).unwrap().added_gates())
+    });
+    let cache = DeviceCache::new();
+    let cached = cache.router(&tokyo, config).unwrap();
+    cached.route(&k5).unwrap(); // record the Impossible verdict
+    group.bench_function("route_nonembeddable_warm_verdict", |b| {
+        b.iter(|| cached.route(&k5).unwrap().added_gates())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_acquisition,
+    bench_noise_refresh,
+    bench_verdict_cache
+);
+criterion_main!(benches);

@@ -7,13 +7,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use sabre::{RoutedCircuit, SabreConfig, SabreResult, SabreRouter};
+use sabre::{DeviceCache, RoutedCircuit, SabreConfig, SabreResult};
 use sabre_baseline::bka::{Bka, BkaConfig, BkaError, BkaStats};
 use sabre_circuit::Circuit;
 use sabre_topology::CouplingGraph;
 use sabre_verify::verify_routed;
+
+/// Process-wide device cache shared by every measurement helper and
+/// experiment binary: the `O(N³)` preprocessing runs once per device per
+/// process instead of once per measurement. Router acquisition happens
+/// outside the timed section, so reported numbers are unaffected — only
+/// harness wall-clock shrinks. ([`measure_sabre`] additionally detaches
+/// the embedding-verdict store, because the probe runs *inside* its timed
+/// section: repeat measurements of one circuit must keep paying the cold
+/// probe to stay comparable.)
+pub fn device_cache() -> &'static DeviceCache {
+    static CACHE: OnceLock<DeviceCache> = OnceLock::new();
+    CACHE.get_or_init(DeviceCache::new)
+}
 
 /// Outcome of timing one router on one benchmark.
 #[derive(Clone, Debug)]
@@ -58,7 +72,10 @@ pub fn measure_sabre(
     graph: &CouplingGraph,
     config: SabreConfig,
 ) -> (Measurement, SabreResult) {
-    let router = SabreRouter::new(graph.clone(), config).expect("valid device and config");
+    let router = device_cache()
+        .router(graph, config)
+        .expect("valid device and config")
+        .without_embedding_cache();
     let start = Instant::now();
     let result = router.route(circuit).expect("circuit fits the device");
     let elapsed = start.elapsed();

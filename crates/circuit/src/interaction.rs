@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::fingerprint::Fingerprinter;
 use crate::{Circuit, Qubit};
 
 /// Weighted interaction graph of a circuit's two-qubit gates.
@@ -89,6 +90,43 @@ impl InteractionGraph {
         self.weights.keys().copied().collect()
     }
 
+    /// Canonical fingerprint of this interaction *structure*: the register
+    /// size plus the sorted set of interacting pairs. Edge multiplicities
+    /// are deliberately excluded — whether a circuit embeds into a device
+    /// ([`sabre_topology::embedding`]) depends only on *which* pairs
+    /// interact, so circuits differing only in gate counts share a
+    /// fingerprint and an embedding verdict.
+    ///
+    /// Stable across processes and platforms; used by the router's
+    /// embedding-verdict cache to key probe outcomes.
+    ///
+    /// [`sabre_topology::embedding`]: ../../sabre_topology/embedding/index.html
+    ///
+    /// ```
+    /// use sabre_circuit::{interaction::InteractionGraph, Circuit, Qubit};
+    ///
+    /// let mut once = Circuit::new(3);
+    /// once.cx(Qubit(0), Qubit(1));
+    /// let mut thrice = Circuit::new(3);
+    /// for _ in 0..3 {
+    ///     thrice.cx(Qubit(1), Qubit(0)); // reversed + repeated: same pair
+    /// }
+    /// assert_eq!(
+    ///     InteractionGraph::of(&once).fingerprint(),
+    ///     InteractionGraph::of(&thrice).fingerprint(),
+    /// );
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new("sabre/interaction-graph/v1");
+        fp.write_u64(u64::from(self.num_qubits));
+        fp.write_u64(self.weights.len() as u64);
+        for &(a, b) in self.weights.keys() {
+            fp.write_u64(u64::from(a.0));
+            fp.write_u64(u64::from(b.0));
+        }
+        fp.finish()
+    }
+
     /// Maximum degree over all qubits — a quick embeddability screen: a
     /// circuit whose max degree exceeds the device's max degree cannot have
     /// a perfect initial mapping.
@@ -157,6 +195,46 @@ mod tests {
         for (a, b) in edges {
             assert!(a < b);
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_multiplicity_and_direction() {
+        let mut sparse = Circuit::new(4);
+        sparse.cx(Qubit(0), Qubit(1));
+        sparse.cx(Qubit(2), Qubit(3));
+        let mut dense = Circuit::new(4);
+        for _ in 0..5 {
+            dense.cx(Qubit(1), Qubit(0));
+            dense.cx(Qubit(3), Qubit(2));
+        }
+        assert_eq!(
+            InteractionGraph::of(&sparse).fingerprint(),
+            InteractionGraph::of(&dense).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_depends_on_edges_and_register_size() {
+        let base = InteractionGraph::of(&sample());
+        let mut other = Circuit::new(4);
+        other.cx(Qubit(0), Qubit(1));
+        other.cx(Qubit(1), Qubit(2));
+        other.cx(Qubit(1), Qubit(3)); // differs from sample's (2,3)
+        assert_ne!(
+            base.fingerprint(),
+            InteractionGraph::of(&other).fingerprint()
+        );
+
+        let mut padded = Circuit::new(6); // same edges, wider register
+        padded.cx(Qubit(0), Qubit(1));
+        padded.cx(Qubit(1), Qubit(0));
+        padded.cx(Qubit(1), Qubit(2));
+        padded.cx(Qubit(2), Qubit(3));
+        padded.h(Qubit(0));
+        assert_ne!(
+            base.fingerprint(),
+            InteractionGraph::of(&padded).fingerprint()
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   preprocessing step of the Zulehner et al. baseline (paper §VII).
 //! - [`interaction`]: the logical-qubit interaction graph used for initial
 //!   mapping heuristics and benchmark calibration.
+//! - [`fingerprint`]: stable canonical hashing used by the device-cache
+//!   layer to key preprocessed router state by content.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 mod circuit;
 mod dag;
 mod error;
+pub mod fingerprint;
 mod gate;
 pub mod interaction;
 pub mod layers;

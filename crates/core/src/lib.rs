@@ -25,6 +25,11 @@
 //!   disjoint qubit pairs and trading gate count against depth (paper
 //!   Figure 8).
 //!
+//! For service workloads, [`cache::DeviceCache`] keeps the §IV-A
+//! preprocessing (and perfect-placement probe verdicts) warm across
+//! calls, keyed by content fingerprints of the device and its noise
+//! calibration.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -47,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod config;
 pub mod direction;
 mod error;
@@ -58,10 +64,11 @@ pub mod router;
 mod sabre;
 pub mod transpile;
 
+pub use cache::{DeviceCache, DeviceCacheStats, EmbeddingVerdictCache};
 pub use config::{HeuristicKind, SabreConfig};
 pub use error::RouteError;
 pub use layout::Layout;
-pub use parallel::transpile_batch;
+pub use parallel::{transpile_batch, transpile_batch_cached};
 pub use result::{RoutedCircuit, SabreResult, TraversalReport};
 pub use sabre::SabreRouter;
 pub use transpile::{transpile, TranspileOptions, TranspileOutput};

@@ -36,7 +36,7 @@ use sabre_topology::CouplingGraph;
 
 use crate::sabre::RestartOutcome;
 use crate::transpile::finish_routed;
-use crate::{RouteError, SabreResult, SabreRouter, TranspileOptions, TranspileOutput};
+use crate::{DeviceCache, RouteError, SabreResult, SabreRouter, TranspileOptions, TranspileOutput};
 
 impl SabreRouter {
     /// [`SabreRouter::route`], with the `num_restarts` independent trials
@@ -102,13 +102,65 @@ pub fn transpile_batch(
         Some(noise) => SabreRouter::with_noise(graph.clone(), options.config, noise)?,
         None => SabreRouter::new(graph.clone(), options.config)?,
     };
-    Ok(circuits
+    Ok(run_batch(&router, circuits, options))
+}
+
+/// [`transpile_batch`] against a [`DeviceCache`]: the router comes from
+/// the cache, so across *calls* (the shape of a transpilation service —
+/// many batches, few devices) the `O(N³)` preprocessing runs once per
+/// device instead of once per batch, and probe verdicts accumulate.
+/// Output is bit-identical to [`transpile_batch`] for a fixed seed.
+///
+/// # Errors
+///
+/// Same conditions as [`transpile_batch`].
+///
+/// # Example
+///
+/// ```
+/// use sabre::{transpile_batch_cached, DeviceCache, TranspileOptions};
+/// use sabre_benchgen::qft;
+/// use sabre_topology::devices;
+///
+/// let cache = DeviceCache::new();
+/// let tokyo = devices::ibm_q20_tokyo();
+/// let circuits = vec![qft::qft(4), qft::qft(5)];
+/// for _ in 0..3 {
+///     let outputs =
+///         transpile_batch_cached(&circuits, tokyo.graph(), &TranspileOptions::default(), &cache)?;
+///     assert!(outputs.iter().all(Result::is_ok));
+/// }
+/// // Preprocessing ran once; the two later batches were warm.
+/// assert_eq!(cache.stats().graph_misses, 1);
+/// # Ok::<(), sabre::RouteError>(())
+/// ```
+pub fn transpile_batch_cached(
+    circuits: &[Circuit],
+    graph: &CouplingGraph,
+    options: &TranspileOptions,
+    cache: &DeviceCache,
+) -> Result<Vec<Result<TranspileOutput, RouteError>>, RouteError> {
+    let router = match &options.noise {
+        Some(noise) => cache.router_with_noise(graph, options.config, noise)?,
+        None => cache.router(graph, options.config)?,
+    };
+    Ok(run_batch(&router, circuits, options))
+}
+
+/// The shared fan-out: route every circuit concurrently and finish each
+/// routing (decompose, optimize, fix directions) in place.
+fn run_batch(
+    router: &SabreRouter,
+    circuits: &[Circuit],
+    options: &TranspileOptions,
+) -> Vec<Result<TranspileOutput, RouteError>> {
+    circuits
         .par_iter()
         .map(|circuit| {
             let result = router.route(circuit)?;
             Ok(finish_routed(result.best, options))
         })
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -199,6 +251,27 @@ mod tests {
             assert_eq!(out.swaps_inserted, single.swaps_inserted);
             assert_eq!(out.gates_removed, single.gates_removed);
         }
+    }
+
+    #[test]
+    fn cached_batches_match_uncached_and_reuse_preprocessing() {
+        let device = devices::ibm_q20_tokyo();
+        let cache = DeviceCache::new();
+        let options = TranspileOptions::default();
+        let circuits: Vec<Circuit> = (0..4).map(|i| workload(10, 30 + i, (5, 7))).collect();
+        let uncached = transpile_batch(&circuits, device.graph(), &options).unwrap();
+        for round in 0..2 {
+            let cached =
+                transpile_batch_cached(&circuits, device.graph(), &options, &cache).unwrap();
+            for (a, b) in uncached.iter().zip(&cached) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.circuit, b.circuit, "round {round}");
+                assert_eq!(a.initial_layout, b.initial_layout);
+                assert_eq!(a.final_layout, b.final_layout);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.graph_misses, stats.graph_hits), (1, 1));
     }
 
     #[test]

@@ -23,8 +23,12 @@ pub struct RoutedCircuit {
     pub final_layout: Layout,
     /// Number of SWAP gates inserted.
     pub num_swaps: usize,
-    /// Search steps taken (SWAP selections, Algorithm 1 iterations that
-    /// scored candidates).
+    /// Search effort. For SABRE's `route_pass`: one step per inserted
+    /// SWAP, whether selected by scoring candidates (Algorithm 1
+    /// iterations) or inserted by the livelock guard's forced routing, so
+    /// there `search_steps == num_swaps`. Baseline routers populate their
+    /// own notion of effort (e.g. BKA reports nodes expanded), so the
+    /// equality is **not** an invariant of this struct.
     pub search_steps: usize,
     /// How often the livelock guard forced a shortest-path routing; 0 on
     /// every benchmark configuration (tests assert this).

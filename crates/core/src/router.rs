@@ -53,8 +53,8 @@ pub fn route_pass(
     let mut frontier = ExecutionFrontier::new(&dag);
     let mut layout = initial_layout.clone();
     let mut out = Circuit::with_name(n_phys, circuit.name());
-    let mut decay = vec![1.0f64; n_phys as usize];
-    let mut swaps_since_reset: u32 = 0;
+    let mut decay = DecayState::new(n_phys as usize, config);
+    let mut scratch = CandidateScratch::new(graph);
     let mut swaps_since_progress: usize = 0;
     let mut num_swaps = 0usize;
     let mut search_steps = 0usize;
@@ -84,8 +84,7 @@ pub fn route_pass(
                             frontier.mark_executed(&dag, idx);
                             executed_any = true;
                             // Paper §V: decay resets after a CNOT executes.
-                            reset_decay(&mut decay);
-                            swaps_since_reset = 0;
+                            decay.on_gate_executed();
                             swaps_since_progress = 0;
                         }
                     }
@@ -116,13 +115,20 @@ pub fn route_pass(
         let limit = 3 * n_phys as usize + config.livelock_slack;
         if swaps_since_progress >= limit {
             forced_routings += 1;
-            num_swaps += force_route(circuit, graph, &mut layout, &mut out, front[0]);
+            let inserted = force_route(circuit, graph, &mut layout, &mut out, front[0]);
+            num_swaps += inserted;
+            // Forced SWAPs are search work and must show up in the
+            // telemetry, and the heuristic state they invalidate (§V decay
+            // accumulated on pre-force positions) must not leak into the
+            // post-force search.
+            search_steps += inserted;
+            decay.on_forced_route();
             swaps_since_progress = 0;
             continue;
         }
 
         let extended = dag.extended_set(circuit, &front, config.extended_set_size);
-        let candidates = swap_candidates(circuit, graph, &layout, &front);
+        let candidates = scratch.collect(circuit, graph, &layout, &front);
         debug_assert!(
             !candidates.is_empty(),
             "connected device always has candidates"
@@ -138,8 +144,8 @@ pub fn route_pass(
         };
         let mut best_score = f64::INFINITY;
         let mut best: Vec<(Qubit, Qubit)> = Vec::new();
-        for &swap in &candidates {
-            let score = score_swap(&inputs, &mut layout, &decay, swap);
+        for &swap in candidates {
+            let score = score_swap(&inputs, &mut layout, decay.values(), swap);
             if score < best_score - SCORE_EPSILON {
                 best_score = score;
                 best.clear();
@@ -156,13 +162,7 @@ pub fn route_pass(
         num_swaps += 1;
         search_steps += 1;
         swaps_since_progress += 1;
-        decay[sa.index()] += config.decay_delta;
-        decay[sb.index()] += config.decay_delta;
-        swaps_since_reset += 1;
-        if swaps_since_reset >= config.decay_reset_interval {
-            reset_decay(&mut decay);
-            swaps_since_reset = 0;
-        }
+        decay.on_swap_selected(sa, sb);
     }
 
     debug_assert!(layout.is_consistent());
@@ -176,31 +176,125 @@ pub fn route_pass(
     }
 }
 
-/// The paper's reduced search space (§IV-C1): only SWAPs on coupling-graph
-/// edges with at least one endpoint hosting a front-layer logical qubit.
-/// "Any SWAPs inside [the] low priority qubit set cannot help with
-/// resolving dependencies in the front layer."
-fn swap_candidates(
-    circuit: &Circuit,
-    graph: &CouplingGraph,
-    layout: &Layout,
-    front: &[usize],
-) -> Vec<(Qubit, Qubit)> {
-    let mut candidates: Vec<(Qubit, Qubit)> = Vec::new();
-    for &idx in front {
-        let (a, b) = circuit.gates()[idx].qubits();
-        let b = b.expect("front layer holds two-qubit gates");
-        for logical in [a, b] {
-            let phys = layout.phys_of(logical);
-            for &nb in graph.neighbors(phys) {
-                let edge = if phys < nb { (phys, nb) } else { (nb, phys) };
-                if !candidates.contains(&edge) {
-                    candidates.push(edge);
+/// Caller-owned scratch for the per-step SWAP-candidate sweep.
+///
+/// The sweep implements the paper's reduced search space (§IV-C1): only
+/// SWAPs on coupling-graph edges with at least one endpoint hosting a
+/// front-layer logical qubit — "any SWAPs inside [the] low priority qubit
+/// set cannot help with resolving dependencies in the front layer."
+///
+/// The seed implementation allocated a fresh `Vec` every search step and
+/// deduplicated with `Vec::contains` — `O(d²)` in the front-layer degree
+/// and the exact per-step allocation churn ROADMAP's heuristic-throughput
+/// item names. This scratch is allocated once per traversal and
+/// deduplicates with a dense bitset over [`CouplingGraph::edge_index`];
+/// only the bits actually set are cleared between steps.
+pub(crate) struct CandidateScratch {
+    /// One slot per coupling-graph edge, indexed by `edge_index`.
+    seen: Vec<bool>,
+    /// The collected candidates, in first-encounter order (the same order
+    /// the seed implementation produced — tie-breaking draws depend on it).
+    buf: Vec<(Qubit, Qubit)>,
+}
+
+impl CandidateScratch {
+    pub(crate) fn new(graph: &CouplingGraph) -> Self {
+        CandidateScratch {
+            seen: vec![false; graph.num_edges()],
+            buf: Vec::new(),
+        }
+    }
+
+    /// Collects the candidate SWAPs for the current front layer. The
+    /// returned slice is valid until the next `collect` call.
+    pub(crate) fn collect(
+        &mut self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        layout: &Layout,
+        front: &[usize],
+    ) -> &[(Qubit, Qubit)] {
+        // Clear only the bits the previous step set.
+        for &(a, b) in &self.buf {
+            self.seen[graph.edge_index(a, b).expect("candidate is an edge")] = false;
+        }
+        self.buf.clear();
+        for &idx in front {
+            let (a, b) = circuit.gates()[idx].qubits();
+            let b = b.expect("front layer holds two-qubit gates");
+            for logical in [a, b] {
+                let phys = layout.phys_of(logical);
+                for &nb in graph.neighbors(phys) {
+                    let edge_id = graph
+                        .edge_index(phys, nb)
+                        .expect("neighbor pairs are edges");
+                    if !self.seen[edge_id] {
+                        self.seen[edge_id] = true;
+                        self.buf
+                            .push(if phys < nb { (phys, nb) } else { (nb, phys) });
+                    }
                 }
             }
         }
+        &self.buf
     }
-    candidates
+}
+
+/// The per-qubit decay bookkeeping of paper §V: recently swapped qubits
+/// are de-prioritized (`value > 1`), and all values reset after a gate
+/// executes, after `decay_reset_interval` consecutive SWAP selections, or
+/// after a forced routing invalidates the accumulated state.
+struct DecayState {
+    values: Vec<f64>,
+    swaps_since_reset: u32,
+    delta: f64,
+    reset_interval: u32,
+}
+
+impl DecayState {
+    fn new(n_phys: usize, config: &SabreConfig) -> Self {
+        DecayState {
+            values: vec![1.0; n_phys],
+            swaps_since_reset: 0,
+            delta: config.decay_delta,
+            reset_interval: config.decay_reset_interval,
+        }
+    }
+
+    fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn reset(&mut self) {
+        for v in &mut self.values {
+            *v = 1.0;
+        }
+        self.swaps_since_reset = 0;
+    }
+
+    /// A two-qubit gate executed: the search made real progress.
+    fn on_gate_executed(&mut self) {
+        self.reset();
+    }
+
+    /// A SWAP was selected: bump its endpoints, reset on the interval.
+    fn on_swap_selected(&mut self, a: Qubit, b: Qubit) {
+        self.values[a.index()] += self.delta;
+        self.values[b.index()] += self.delta;
+        self.swaps_since_reset += 1;
+        if self.swaps_since_reset >= self.reset_interval {
+            self.reset();
+        }
+    }
+
+    /// The livelock guard force-routed a gate: every qubit on the forced
+    /// path moved, so decay accumulated against the old placement is
+    /// stale — restart clean (the forced gate executes next iteration,
+    /// which would reset anyway; doing it here keeps the invariant even
+    /// when the forced gate's successors stall first).
+    fn on_forced_route(&mut self) {
+        self.reset();
+    }
 }
 
 /// Fallback progress guarantee: walk the first blocked gate's control
@@ -227,12 +321,6 @@ fn force_route(
         inserted += 1;
     }
     inserted
-}
-
-fn reset_decay(decay: &mut [f64]) {
-    for d in decay.iter_mut() {
-        *d = 1.0;
-    }
 }
 
 #[cfg(test)]
@@ -443,7 +531,8 @@ mod tests {
         let mut c = Circuit::new(20);
         c.cx(Qubit(0), Qubit(19));
         let layout = Layout::identity(20);
-        let cands = swap_candidates(&c, g.graph(), &layout, &[0]);
+        let mut scratch = CandidateScratch::new(g.graph());
+        let cands = scratch.collect(&c, g.graph(), &layout, &[0]).to_vec();
         for (a, b) in &cands {
             assert!(
                 *a == Qubit(0) || *b == Qubit(0) || *a == Qubit(19) || *b == Qubit(19),
@@ -455,5 +544,101 @@ mod tests {
             cands.len(),
             g.graph().degree(Qubit(0)) + g.graph().degree(Qubit(19))
         );
+    }
+
+    #[test]
+    fn candidate_scratch_dedupes_and_resets_between_steps() {
+        // Two front gates sharing physical neighborhoods: the shared edges
+        // must appear exactly once, and a second collect with a different
+        // front must not leak state from the first.
+        let g = devices::star(5); // hub Q0, leaves Q1..Q4
+        let mut c = Circuit::new(5);
+        c.cx(Qubit(1), Qubit(2));
+        c.cx(Qubit(3), Qubit(4));
+        let layout = Layout::identity(5);
+        let mut scratch = CandidateScratch::new(g.graph());
+
+        let both = scratch.collect(&c, g.graph(), &layout, &[0, 1]).to_vec();
+        // Every leaf couples only to the hub: 4 distinct edges, no dupes.
+        assert_eq!(both.len(), 4);
+        let mut dedup = both.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), both.len(), "candidates contain duplicates");
+
+        let second = scratch.collect(&c, g.graph(), &layout, &[0]).to_vec();
+        assert_eq!(second.len(), 2, "stale seen-bits leaked into next step");
+        for edge in &second {
+            assert!(both.contains(edge));
+        }
+    }
+
+    #[test]
+    fn decay_state_resets_after_forced_route() {
+        let config = SabreConfig::default();
+        let mut decay = DecayState::new(4, &config);
+        decay.on_swap_selected(Qubit(0), Qubit(1));
+        decay.on_swap_selected(Qubit(1), Qubit(2));
+        assert!(decay.values()[1] > 1.0 + config.decay_delta);
+        decay.on_forced_route();
+        assert!(decay.values().iter().all(|&v| v == 1.0));
+        assert_eq!(decay.swaps_since_reset, 0);
+    }
+
+    #[test]
+    fn decay_state_resets_on_interval_and_gate_execution() {
+        let config = SabreConfig {
+            decay_reset_interval: 3,
+            ..SabreConfig::default()
+        };
+        let mut decay = DecayState::new(3, &config);
+        decay.on_swap_selected(Qubit(0), Qubit(1));
+        decay.on_swap_selected(Qubit(0), Qubit(1));
+        assert!(decay.values()[0] > 1.0);
+        decay.on_swap_selected(Qubit(0), Qubit(1)); // third: interval reset
+        assert!(decay.values().iter().all(|&v| v == 1.0));
+
+        decay.on_swap_selected(Qubit(1), Qubit(2));
+        decay.on_gate_executed();
+        assert!(decay.values().iter().all(|&v| v == 1.0));
+    }
+
+    /// Drives the livelock guard deterministically: an all-zero cost
+    /// matrix makes every SWAP score identically, so the search becomes a
+    /// seeded random walk that cannot close a long line before the guard
+    /// fires.
+    fn forced_routing_pass() -> RoutedCircuit {
+        let g = devices::linear(24);
+        let mut c = Circuit::new(24);
+        c.cx(Qubit(0), Qubit(23));
+        let blind = WeightedDistanceMatrix::floyd_warshall(g.graph(), |_, _| 0.0);
+        let config = SabreConfig {
+            livelock_slack: 0,
+            ..SabreConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        route_pass(
+            &c,
+            g.graph(),
+            &blind,
+            Layout::identity(24),
+            &config,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn forced_routing_counts_swaps_in_search_steps() {
+        let r = forced_routing_pass();
+        assert!(
+            r.forced_routings > 0,
+            "zero-cost matrix on a long line must trip the livelock guard"
+        );
+        // Every inserted SWAP — scored or forced — is one search step;
+        // before the fix, forced SWAPs were invisible to the telemetry.
+        assert_eq!(r.search_steps, r.num_swaps);
+        // The forced routing must still produce a valid circuit.
+        assert_compliant(&r.physical, devices::linear(24).graph());
+        assert_eq!(r.physical.num_gates(), 1 + r.num_swaps);
     }
 }

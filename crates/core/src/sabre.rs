@@ -1,3 +1,4 @@
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -8,6 +9,7 @@ use sabre_topology::embedding::{self, Embedding};
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::{CouplingGraph, DistanceMatrix, Qubit, WeightedDistanceMatrix};
 
+use crate::cache::EmbeddingVerdictCache;
 use crate::router::route_pass;
 use crate::{Layout, RouteError, RoutedCircuit, SabreConfig, SabreResult, TraversalReport};
 
@@ -53,10 +55,16 @@ pub(crate) struct RestartOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SabreRouter {
-    graph: CouplingGraph,
-    dist: DistanceMatrix,
-    cost: WeightedDistanceMatrix,
+    // Preprocessing is behind `Arc` so routers acquired from a warm
+    // `DeviceCache` (and `Clone`d routers generally) share one distance
+    // matrix instead of copying `O(N²)` floats.
+    graph: Arc<CouplingGraph>,
+    dist: Arc<DistanceMatrix>,
+    cost: Arc<WeightedDistanceMatrix>,
     config: SabreConfig,
+    /// Shared embedding-verdict store for the perfect-placement probe;
+    /// `None` (the default) probes from scratch on every `route` call.
+    verdicts: Option<Arc<EmbeddingVerdictCache>>,
 }
 
 impl SabreRouter {
@@ -75,14 +83,35 @@ impl SabreRouter {
         if !graph.is_connected() {
             return Err(RouteError::DisconnectedDevice);
         }
-        let dist = DistanceMatrix::floyd_warshall(&graph);
-        let cost = WeightedDistanceMatrix::hops(&graph);
+        let dist = Arc::new(DistanceMatrix::floyd_warshall(&graph));
+        let cost = Arc::new(WeightedDistanceMatrix::hops(&graph));
         Ok(SabreRouter {
+            graph: Arc::new(graph),
+            dist,
+            cost,
+            config,
+            verdicts: None,
+        })
+    }
+
+    /// Assembles a router from preprocessed parts — the warm path of
+    /// [`crate::DeviceCache`]: no connectivity check, no Floyd–Warshall,
+    /// just `Arc` clones. The caller guarantees the parts belong together
+    /// and that `config` already validated.
+    pub(crate) fn from_parts(
+        graph: Arc<CouplingGraph>,
+        dist: Arc<DistanceMatrix>,
+        cost: Arc<WeightedDistanceMatrix>,
+        config: SabreConfig,
+        verdicts: Option<Arc<EmbeddingVerdictCache>>,
+    ) -> Self {
+        SabreRouter {
             graph,
             dist,
             cost,
             config,
-        })
+            verdicts,
+        }
     }
 
     /// Builds a **noise-aware** router (the §VI "More Precise Hardware
@@ -99,19 +128,52 @@ impl SabreRouter {
         noise: &NoiseModel,
     ) -> Result<Self, RouteError> {
         let mut router = SabreRouter::new(graph, config)?;
-        // Normalize so costs stay comparable to hop counts: divide by the
-        // smallest edge cost (best coupler ≈ 1 hop).
-        let min_cost = router
-            .graph
-            .edges()
-            .iter()
-            .map(|&(a, b)| noise.swap_cost(a, b))
-            .fold(f64::INFINITY, f64::min)
-            .max(f64::MIN_POSITIVE);
-        router.cost = WeightedDistanceMatrix::floyd_warshall(&router.graph, |a, b| {
-            noise.swap_cost(a, b) / min_cost
-        });
+        router.cost = Arc::new(noise_cost_matrix(&router.graph, noise));
         Ok(router)
+    }
+
+    /// Attaches a shared embedding-verdict store (builder-style): repeated
+    /// `route` calls — by this router or any router of the **same device**
+    /// sharing the store — reuse perfect-placement probe verdicts instead
+    /// of re-running the backtracking search. Results are bit-identical to
+    /// an uncached router; only the probe's work is skipped. See
+    /// [`EmbeddingVerdictCache`] for the keying that makes cross-device
+    /// sharing safe.
+    ///
+    /// Routers acquired through [`crate::DeviceCache`] come with the
+    /// cache's store already attached.
+    #[must_use]
+    pub fn with_embedding_cache(mut self, verdicts: Arc<EmbeddingVerdictCache>) -> Self {
+        self.verdicts = Some(verdicts);
+        self
+    }
+
+    /// Detaches any embedding-verdict store: every subsequent `route`
+    /// pays the cold probe again. Timing studies use this so repeat
+    /// measurements of one circuit stay comparable (a warm verdict would
+    /// silently remove the probe from the measured section).
+    #[must_use]
+    pub fn without_embedding_cache(mut self) -> Self {
+        self.verdicts = None;
+        self
+    }
+
+    /// The attached embedding-verdict store, if any.
+    pub fn embedding_cache(&self) -> Option<&Arc<EmbeddingVerdictCache>> {
+        self.verdicts.as_ref()
+    }
+
+    /// Decomposes the router into its shared preprocessing — the single
+    /// source of truth the [`crate::DeviceCache`] stores, so the cache's
+    /// cold path can never drift from [`SabreRouter::new`].
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Arc<CouplingGraph>,
+        Arc<DistanceMatrix>,
+        Arc<WeightedDistanceMatrix>,
+    ) {
+        (self.graph, self.dist, self.cost)
     }
 
     /// The device coupling graph.
@@ -258,8 +320,10 @@ impl SabreRouter {
         // smallopt) must reflect a real search even when an embedding
         // exists, so embeddable circuits cannot short-circuit the
         // restarts. Callers that only want `best` can skip the probe cost
-        // via `embedding_probe_budget: 0`; a cached per-interaction-graph
-        // verdict for service workloads is a ROADMAP open item.
+        // via `embedding_probe_budget: 0`; routers with an attached
+        // [`EmbeddingVerdictCache`] skip only the *backtracking* on repeat
+        // interaction graphs — the probe-after-search ordering (and with
+        // it this telemetry contract) is unchanged.
         //
         // A restart that already hit zero SWAPs cannot be improved: a
         // zero-SWAP routing is a wire relabeling, so its depth equals the
@@ -295,7 +359,11 @@ impl SabreRouter {
             return None;
         }
         let pattern = InteractionGraph::of(circuit);
-        match embedding::find_embedding_within(&pattern, &self.graph, budget)? {
+        let verdict = match &self.verdicts {
+            Some(cache) => cache.find_embedding(&pattern, &self.graph, budget),
+            None => embedding::find_embedding_within(&pattern, &self.graph, budget),
+        };
+        match verdict? {
             Embedding::Found(map) => {
                 let layout = self.complete_layout(&map);
                 let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -389,6 +457,41 @@ impl SabreRouter {
             &mut rng,
         ))
     }
+}
+
+/// Floor for per-edge SWAP costs in the noise-weighted distance matrix.
+///
+/// A zero-error coupling is legal (`NoiseModel::uniform(g, 0.0, 0.0)`, or
+/// `with_edge_error(…, 0.0)` after a calibration snapshot) and makes
+/// `swap_cost = -3·ln(1-0) = 0`. Without a floor the normalization divisor
+/// collapses to `f64::MIN_POSITIVE` and every other edge's normalized cost
+/// overflows to infinity, which the weighted Floyd–Warshall rejects.
+/// Clamping each edge to this floor *before* normalizing keeps every cost
+/// finite while preserving the ordering between real couplers: `1e-9` is
+/// far below any physical error's cost (ε = 1e-6 already costs 3e-6).
+pub(crate) const MIN_EDGE_SWAP_COST: f64 = 1e-9;
+
+/// The noise-weighted cost matrix shared by [`SabreRouter::with_noise`]
+/// and the [`crate::DeviceCache`] refresh path: per-edge SWAP costs
+/// (floored, see [`MIN_EDGE_SWAP_COST`]) normalized by the cheapest edge
+/// so costs stay comparable to hop counts (best coupler ≈ 1 hop), then
+/// closed under Floyd–Warshall.
+pub(crate) fn noise_cost_matrix(
+    graph: &CouplingGraph,
+    noise: &NoiseModel,
+) -> WeightedDistanceMatrix {
+    let edge_cost = |a: Qubit, b: Qubit| noise.swap_cost(a, b).max(MIN_EDGE_SWAP_COST);
+    let mut min_cost = graph
+        .edges()
+        .iter()
+        .map(|&(a, b)| edge_cost(a, b))
+        .fold(f64::INFINITY, f64::min);
+    if !min_cost.is_finite() {
+        // Edgeless graph (0 or 1 qubits): the weight closure is never
+        // called, but keep the divisor sane anyway.
+        min_cost = 1.0;
+    }
+    WeightedDistanceMatrix::floyd_warshall(graph, |a, b| edge_cost(a, b) / min_cost)
 }
 
 /// Best = fewest added gates, ties broken by decomposed depth (the paper's
@@ -599,6 +702,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_error_noise_model_degenerates_to_hop_routing() {
+        // Regression: a legal all-zero-error model used to divide every
+        // edge cost by `f64::MIN_POSITIVE`. With the per-edge floor, every
+        // normalized cost is exactly 1.0 — the hop matrix — so routing
+        // must be bit-identical to the noise-free router.
+        let device = devices::ibm_q20_tokyo();
+        let noise = NoiseModel::uniform(device.graph(), 0.0, 0.0);
+        let config = SabreConfig::default();
+        let noisy = SabreRouter::with_noise(device.graph().clone(), config, &noise).unwrap();
+        let plain = SabreRouter::new(device.graph().clone(), config).unwrap();
+        let c = chain_circuit(10);
+        let a = noisy.route(&c).unwrap();
+        let b = plain.route(&c).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.traversals, b.traversals);
+    }
+
+    #[test]
+    fn zero_error_edge_does_not_blow_up_other_costs() {
+        // Regression: one perfect coupler among lossy ones used to push
+        // every other normalized cost to infinity (panicking the weighted
+        // Floyd–Warshall). The zero-error edge must simply be the cheapest.
+        let graph = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let noise =
+            NoiseModel::uniform(&graph, 0.05, 0.001).with_edge_error(Qubit(0), Qubit(1), 0.0);
+        let router = SabreRouter::with_noise(graph, SabreConfig::fast(), &noise).unwrap();
+        let mut c = Circuit::new(4);
+        c.cx(Qubit(0), Qubit(2));
+        let result = router.route(&c).unwrap();
+        assert!(result.best.num_swaps <= 1);
+
+        let cost = noise_cost_matrix(router.graph(), &noise);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert!(
+                    cost.get(Qubit(i), Qubit(j)).is_finite(),
+                    "cost ({i},{j}) must be finite"
+                );
+            }
+        }
+        // The perfect coupler dominates: it is strictly the cheapest edge.
+        assert!(cost.get(Qubit(0), Qubit(1)) < cost.get(Qubit(1), Qubit(2)));
     }
 
     #[test]

@@ -2,6 +2,8 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
+use sabre_circuit::fingerprint::Fingerprinter;
+
 use crate::Qubit;
 
 /// Errors produced when constructing coupling graphs.
@@ -132,6 +134,50 @@ impl CouplingGraph {
     /// Canonical edge list: each pair `(a, b)` has `a < b`, sorted.
     pub fn edges(&self) -> &[(Qubit, Qubit)] {
         &self.edges
+    }
+
+    /// Position of the coupling `(a, b)` (order-insensitive) in
+    /// [`CouplingGraph::edges`], or `None` if the pair is not coupled.
+    ///
+    /// Edge indices are dense in `0..num_edges()`, which makes them usable
+    /// as bitset slots — the router's SWAP-candidate scratch buffer
+    /// deduplicates with a `Vec<bool>` indexed this way.
+    pub fn edge_index(&self, a: Qubit, b: Qubit) -> Option<usize> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.edges.binary_search(&key).ok()
+    }
+
+    /// Canonical content fingerprint: two graphs fingerprint identically
+    /// exactly when they have the same qubit count and the same coupling
+    /// set, regardless of the edge order, duplicates, or endpoint order
+    /// they were constructed from. Stable across processes and platforms.
+    ///
+    /// This is the cache key of `sabre::DeviceCache`: preprocessed router
+    /// state (Floyd–Warshall distance matrices) is stored per fingerprint,
+    /// so a service routing against a hot device skips the `O(N³)`
+    /// preprocessing entirely.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sabre_topology::CouplingGraph;
+    ///
+    /// let a = CouplingGraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+    /// let b = CouplingGraph::from_edges(3, [(2, 1), (1, 0), (0, 1)]).unwrap();
+    /// assert_eq!(a.fingerprint(), b.fingerprint()); // same device
+    ///
+    /// let c = CouplingGraph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+    /// assert_ne!(a.fingerprint(), c.fingerprint()); // different coupling
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new("sabre/coupling-graph/v1");
+        fp.write_u64(u64::from(self.num_qubits));
+        fp.write_u64(self.edges.len() as u64);
+        for &(a, b) in &self.edges {
+            fp.write_u64(u64::from(a.0));
+            fp.write_u64(u64::from(b.0));
+        }
+        fp.finish()
     }
 
     /// The qubits directly coupled to `q`, sorted.
@@ -380,6 +426,38 @@ mod tests {
         assert_eq!(line.diameter(), Some(3));
         let disconnected = CouplingGraph::from_edges(3, [(0, 1)]).unwrap();
         assert_eq!(disconnected.diameter(), None);
+    }
+
+    #[test]
+    fn edge_index_is_dense_and_order_insensitive() {
+        let g = fig3b();
+        let mut seen = vec![false; g.num_edges()];
+        for &(a, b) in g.edges() {
+            let idx = g.edge_index(a, b).unwrap();
+            assert_eq!(g.edge_index(b, a), Some(idx), "order-insensitive");
+            assert!(!seen[idx], "indices must be unique");
+            seen[idx] = true;
+            assert_eq!(g.edges()[idx], (a, b));
+        }
+        assert!(seen.iter().all(|&s| s), "indices must cover 0..num_edges");
+        assert_eq!(g.edge_index(Qubit(0), Qubit(3)), None);
+    }
+
+    #[test]
+    fn fingerprint_is_construction_invariant() {
+        let a = CouplingGraph::from_edges(4, [(0, 1), (1, 3), (3, 2), (2, 0)]).unwrap();
+        let b = CouplingGraph::from_edges(4, [(2, 0), (3, 1), (1, 0), (2, 3), (0, 1)]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_different_devices() {
+        let square = fig3b();
+        let line = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        // Same edges on a wider register is a different device.
+        let padded = CouplingGraph::from_edges(5, [(0, 1), (1, 3), (3, 2), (2, 0)]).unwrap();
+        assert_ne!(square.fingerprint(), line.fingerprint());
+        assert_ne!(square.fingerprint(), padded.fingerprint());
     }
 
     #[test]

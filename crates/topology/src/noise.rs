@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use sabre_circuit::fingerprint::Fingerprinter;
 use sabre_circuit::{Circuit, Qubit};
 
 use crate::CouplingGraph;
@@ -120,6 +121,43 @@ impl NoiseModel {
         self.single_qubit_error
     }
 
+    /// Canonical content fingerprint: error rates hashed in sorted edge
+    /// order, so two models built differently (e.g. [`NoiseModel::uniform`]
+    /// plus overrides vs a direct calibration load) fingerprint identically
+    /// exactly when every rate matches bit-for-bit. Stable across processes
+    /// and platforms.
+    ///
+    /// `sabre::DeviceCache` keys noise-weighted distance matrices by
+    /// `(graph.fingerprint(), noise.fingerprint())`, which is what lets a
+    /// calibration refresh recompute only the weighted matrix.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sabre_topology::{devices, noise::NoiseModel, Qubit};
+    ///
+    /// let g = devices::linear(3);
+    /// let a = NoiseModel::uniform(g.graph(), 0.01, 0.001);
+    /// let b = NoiseModel::uniform(g.graph(), 0.01, 0.001);
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    ///
+    /// let worse = b.with_edge_error(Qubit(0), Qubit(1), 0.2);
+    /// assert_ne!(a.fingerprint(), worse.fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut edges: Vec<(&(Qubit, Qubit), &f64)> = self.edge_error.iter().collect();
+        edges.sort_by_key(|(&pair, _)| pair);
+        let mut fp = Fingerprinter::new("sabre/noise-model/v1");
+        fp.write_f64(self.single_qubit_error);
+        fp.write_u64(edges.len() as u64);
+        for (&(a, b), &err) in edges {
+            fp.write_u64(u64::from(a.0));
+            fp.write_u64(u64::from(b.0));
+            fp.write_f64(err);
+        }
+        fp.finish()
+    }
+
     /// The additive routing cost of one SWAP across `(a, b)`:
     /// `-3·ln(1 - ε)` (three CNOTs, log-domain so costs sum along paths).
     pub fn swap_cost(&self, a: Qubit, b: Qubit) -> f64 {
@@ -203,6 +241,27 @@ mod tests {
         );
         assert_eq!(noise.edge_error(Qubit(0), Qubit(1)), 0.2);
         assert_eq!(noise.edge_error(Qubit(1), Qubit(2)), 0.01);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_construction() {
+        let device = devices::ibm_q20_tokyo();
+        let uniform = NoiseModel::uniform(device.graph(), 0.03, 0.004);
+        assert_eq!(
+            uniform.fingerprint(),
+            NoiseModel::uniform(device.graph(), 0.03, 0.004).fingerprint()
+        );
+        // An override that does not change the value keeps the fingerprint.
+        let same = uniform.clone().with_edge_error(Qubit(1), Qubit(0), 0.03);
+        assert_eq!(uniform.fingerprint(), same.fingerprint());
+        // A real change moves it.
+        let changed = uniform.clone().with_edge_error(Qubit(0), Qubit(1), 0.2);
+        assert_ne!(uniform.fingerprint(), changed.fingerprint());
+        // Calibration seeds separate models.
+        assert_ne!(
+            NoiseModel::calibrated(device.graph(), 0.02, 3.0, 1).fingerprint(),
+            NoiseModel::calibrated(device.graph(), 0.02, 3.0, 2).fingerprint()
+        );
     }
 
     #[test]
