@@ -1,0 +1,189 @@
+//! **Perf-trajectory harness**: routes a fixed synthetic corpus through
+//! the hot loop and writes a machine-readable `BENCH_routing.json`, so
+//! every future PR can compare its per-step routing throughput against a
+//! committed baseline instead of re-deriving one from criterion logs.
+//!
+//! The corpus is pinned (devices × circuit shapes × seeds below); each
+//! entry is routed `repeats` times through a single forward
+//! [`sabre::router::route_pass`] traversal from the identity layout with
+//! [`SabreConfig::fast`], and the **median** wall time is reported
+//! together with the per-step quotient. Routing is deterministic, so
+//! `num_swaps`/`search_steps` are stable across runs and machines — only
+//! the nanosecond figures move.
+//!
+//! The JSON schema (`sabre-perf-trajectory/v1`) is documented in
+//! README.md §Performance.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p sabre_bench --release --bin perf_json -- \
+//!     [--out BENCH_routing.json] [--repeats 7] [--quick]
+//! ```
+//!
+//! `--quick` drops to 2 repeats — the CI smoke configuration (validity
+//! and runtime ceiling, not statistics).
+
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sabre::router::route_pass;
+use sabre::{Layout, SabreConfig};
+use sabre_benchgen::random;
+use sabre_circuit::fingerprint::Fingerprinter;
+use sabre_circuit::Circuit;
+use sabre_topology::{devices, CouplingGraph, WeightedDistanceMatrix};
+
+/// One measured corpus entry.
+struct Entry {
+    device: &'static str,
+    circuit: &'static str,
+    num_qubits: u32,
+    num_gates: usize,
+    num_swaps: usize,
+    search_steps: usize,
+    median_wall_ns: u128,
+    median_ns_per_step: u128,
+}
+
+/// The pinned corpus: `(device, graph, circuit label, qubits, gates)`.
+/// Seeds derive from the label so adding entries never shifts existing
+/// ones.
+fn corpus() -> Vec<(&'static str, CouplingGraph, &'static str, u32, usize)> {
+    let tokyo = devices::ibm_q20_tokyo().graph().clone();
+    let grid = devices::grid(10, 10).graph().clone();
+    vec![
+        ("tokyo20", tokyo.clone(), "small", 12, 60),
+        ("tokyo20", tokyo.clone(), "medium", 16, 500),
+        ("tokyo20", tokyo, "deep", 18, 2_000),
+        ("grid10x10", grid.clone(), "small", 30, 150),
+        ("grid10x10", grid.clone(), "medium", 60, 800),
+        ("grid10x10", grid, "deep", 80, 4_000),
+    ]
+}
+
+fn measure(graph: &CouplingGraph, circuit: &Circuit, repeats: usize) -> (usize, usize, u128) {
+    let dist = WeightedDistanceMatrix::hops(graph);
+    let config = SabreConfig::fast();
+    let mut walls: Vec<u128> = Vec::with_capacity(repeats);
+    let mut swaps = 0;
+    let mut steps = 0;
+    for _ in 0..repeats {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let layout = Layout::identity(graph.num_qubits());
+        let start = Instant::now();
+        let routed = route_pass(circuit, graph, &dist, layout, &config, &mut rng);
+        walls.push(start.elapsed().as_nanos());
+        swaps = routed.num_swaps;
+        steps = routed.search_steps;
+    }
+    walls.sort_unstable();
+    (swaps, steps, walls[walls.len() / 2])
+}
+
+/// Current git revision — the trajectory's x-axis. Falls back to
+/// `GITHUB_SHA` (CI checkouts without a full repo) and then `"unknown"`.
+/// Both paths report the same 12-character short form so trajectory
+/// points recorded in different environments key identically.
+fn git_rev() -> String {
+    let from_git = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    from_git
+        .or_else(|| {
+            std::env::var("GITHUB_SHA")
+                .ok()
+                .map(|sha| sha.chars().take(12).collect())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn render_json(rev: &str, repeats: usize, entries: &[Entry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"sabre-perf-trajectory/v1\",");
+    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
+    let _ = writeln!(s, "  \"engine\": \"incremental\",");
+    let _ = writeln!(s, "  \"config\": \"fast\",");
+    let _ = writeln!(s, "  \"repeats\": {repeats},");
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"device\": \"{}\",", e.device);
+        let _ = writeln!(s, "      \"circuit\": \"{}\",", e.circuit);
+        let _ = writeln!(s, "      \"num_qubits\": {},", e.num_qubits);
+        let _ = writeln!(s, "      \"num_gates\": {},", e.num_gates);
+        let _ = writeln!(s, "      \"num_swaps\": {},", e.num_swaps);
+        let _ = writeln!(s, "      \"search_steps\": {},", e.search_steps);
+        let _ = writeln!(s, "      \"median_wall_ns\": {},", e.median_wall_ns);
+        let _ = writeln!(s, "      \"median_ns_per_step\": {}", e.median_ns_per_step);
+        s.push_str(if i + 1 < entries.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut out_path = "BENCH_routing.json".to_string();
+    let mut repeats = 7usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .expect("--repeats needs a count")
+                    .parse()
+                    .expect("--repeats must be a positive integer");
+                assert!(repeats > 0, "--repeats must be ≥ 1");
+            }
+            "--quick" => repeats = 2,
+            other => panic!("unknown argument `{other}` (try --out/--repeats/--quick)"),
+        }
+    }
+
+    let mut entries = Vec::new();
+    for (device, graph, shape, num_qubits, num_gates) in corpus() {
+        // Per-entry seed: stable hash of the label bytes, so the corpus
+        // can grow without perturbing or colliding with existing entries.
+        let mut fp = Fingerprinter::new("sabre/perf-json-corpus/v1");
+        for byte in device.bytes().chain(shape.bytes()) {
+            fp.write_u64(u64::from(byte));
+        }
+        fp.write_u64(num_gates as u64);
+        let circuit = random::random_circuit(num_qubits, num_gates, 0.9, fp.finish());
+        let (num_swaps, search_steps, median_wall_ns) = measure(&graph, &circuit, repeats);
+        let median_ns_per_step = median_wall_ns / search_steps.max(1) as u128;
+        eprintln!(
+            "{device}/{shape}: swaps={num_swaps} steps={search_steps} \
+             median_wall={median_wall_ns}ns ns/step={median_ns_per_step}"
+        );
+        entries.push(Entry {
+            device,
+            circuit: shape,
+            num_qubits,
+            num_gates,
+            num_swaps,
+            search_steps,
+            median_wall_ns,
+            median_ns_per_step,
+        });
+    }
+
+    let json = render_json(&git_rev(), repeats, &entries);
+    std::fs::write(&out_path, &json).expect("writing the trajectory file");
+    println!("wrote {out_path}");
+}

@@ -104,33 +104,103 @@ impl DependencyDag {
     ///
     /// Gates already in the front are not included. Single-qubit gates are
     /// traversed through but not collected (they carry no distance cost).
+    ///
+    /// Allocates fresh traversal state per call; a router computing `E`
+    /// every search step should use [`DependencyDag::extended_set_with`]
+    /// and a persistent [`ExtendedSetScratch`] instead.
     pub fn extended_set(&self, circuit: &Circuit, front: &[usize], limit: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(limit);
+        let mut out = Vec::new();
+        let mut scratch = ExtendedSetScratch::new();
+        self.extended_set_with(circuit, front, limit, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`DependencyDag::extended_set`] into caller-owned storage: `out` is
+    /// cleared and refilled, `scratch` carries the epoch-stamped visited
+    /// set and BFS queue across calls so the per-step cost is the
+    /// traversal itself — no `visited` vector, `VecDeque`, or output
+    /// allocation per call once the scratch has warmed up.
+    ///
+    /// The collection order is identical to [`DependencyDag::extended_set`]
+    /// (same BFS, same FIFO discipline).
+    pub fn extended_set_with(
+        &self,
+        circuit: &Circuit,
+        front: &[usize],
+        limit: usize,
+        scratch: &mut ExtendedSetScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         if limit == 0 {
-            return out;
+            return;
         }
-        let mut visited = vec![false; self.num_nodes()];
-        let mut queue: VecDeque<usize> = VecDeque::new();
+        let epoch = scratch.begin(self.num_nodes());
         for &f in front {
-            visited[f] = true;
-            queue.push_back(f);
+            scratch.stamp[f] = epoch;
+            scratch.queue.push(f);
         }
-        while let Some(u) = queue.pop_front() {
+        // `queue` with a moving head is FIFO — the same visit order as the
+        // VecDeque it replaces, without the ring-buffer bookkeeping.
+        let mut head = 0;
+        while head < scratch.queue.len() {
+            let u = scratch.queue[head];
+            head += 1;
             for &v in &self.succs[u] {
-                if visited[v] {
+                if scratch.stamp[v] == epoch {
                     continue;
                 }
-                visited[v] = true;
+                scratch.stamp[v] = epoch;
                 if circuit.gates()[v].is_two_qubit() {
                     out.push(v);
                     if out.len() == limit {
-                        return out;
+                        return;
                     }
                 }
-                queue.push_back(v);
+                scratch.queue.push(v);
             }
         }
-        out
+    }
+}
+
+/// Reusable traversal state for [`DependencyDag::extended_set_with`].
+///
+/// The visited set is **epoch-stamped**: a node is "visited" when its
+/// stamp equals the current epoch, so starting a new traversal is one
+/// counter increment instead of an `O(gates)` clear (or worse, a fresh
+/// allocation) per search step. The queue keeps its capacity across
+/// calls. One scratch serves any number of DAGs — it grows to the largest
+/// node count it has seen.
+#[derive(Clone, Debug, Default)]
+pub struct ExtendedSetScratch {
+    /// `stamp[node] == epoch` ⇔ node visited in the current traversal.
+    stamp: Vec<u32>,
+    /// The current traversal's epoch; `0` means "never visited".
+    epoch: u32,
+    /// BFS queue storage (drained logically via a head index).
+    queue: Vec<usize>,
+}
+
+impl ExtendedSetScratch {
+    /// An empty scratch; storage grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new traversal epoch over `num_nodes` nodes and returns it.
+    fn begin(&mut self, num_nodes: usize) -> u32 {
+        if self.stamp.len() < num_nodes {
+            self.stamp.resize(num_nodes, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap (once per 2³² traversals): clear the stamps so no
+            // stale epoch can alias the restarted counter.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.queue.clear();
+        self.epoch
     }
 }
 
@@ -198,21 +268,38 @@ impl ExecutionFrontier {
     /// would mean the caller violated a dependency, which is precisely the
     /// bug class this type exists to catch.
     pub fn mark_executed(&mut self, dag: &DependencyDag, idx: usize) -> Vec<usize> {
+        let unlocked = self.retire(dag, idx);
+        // `retire` appends newly ready gates at the tail, in successor
+        // order — exactly the list this method has always reported.
+        self.ready[self.ready.len() - unlocked..].to_vec()
+    }
+
+    /// [`ExecutionFrontier::mark_executed`] without materializing the
+    /// newly-ready list: returns only how many gates became ready (they
+    /// occupy the tail of [`ExecutionFrontier::ready`], in successor
+    /// order). This is the router's hot-loop entry point — retiring a
+    /// gate allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not currently ready, like
+    /// [`ExecutionFrontier::mark_executed`].
+    pub fn retire(&mut self, dag: &DependencyDag, idx: usize) -> usize {
         assert!(self.is_ready(idx), "gate {idx} is not ready for execution");
         self.executed[idx] = true;
         self.num_executed += 1;
         if let Some(pos) = self.ready.iter().position(|&g| g == idx) {
             self.ready.swap_remove(pos);
         }
-        let mut newly_ready = Vec::new();
+        let mut unlocked = 0;
         for &succ in dag.successors(idx) {
             self.remaining_preds[succ] -= 1;
             if self.remaining_preds[succ] == 0 {
                 self.ready.push(succ);
-                newly_ready.push(succ);
+                unlocked += 1;
             }
         }
-        newly_ready
+        unlocked
     }
 }
 
@@ -372,6 +459,57 @@ mod tests {
                 assert!(!ext.contains(f));
             }
         }
+    }
+
+    #[test]
+    fn extended_set_with_matches_allocating_version() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let front = dag.initial_front();
+        let mut scratch = ExtendedSetScratch::new();
+        let mut out = vec![99, 98]; // stale content must be cleared
+        for limit in 0..8 {
+            dag.extended_set_with(&c, &front, limit, &mut scratch, &mut out);
+            assert_eq!(out, dag.extended_set(&c, &front, limit), "limit={limit}");
+        }
+    }
+
+    #[test]
+    fn extended_set_scratch_is_reusable_across_dags() {
+        let big = fig4();
+        let big_dag = DependencyDag::new(&big);
+        let mut small = Circuit::new(2);
+        small.cx(Qubit(0), Qubit(1));
+        small.cx(Qubit(0), Qubit(1));
+        let small_dag = DependencyDag::new(&small);
+
+        let mut scratch = ExtendedSetScratch::new();
+        let mut out = Vec::new();
+        // Interleave traversals over DAGs of different sizes: epochs must
+        // never leak visited state between them.
+        for _ in 0..3 {
+            big_dag.extended_set_with(&big, &big_dag.initial_front(), 5, &mut scratch, &mut out);
+            assert_eq!(out, big_dag.extended_set(&big, &big_dag.initial_front(), 5));
+            small_dag.extended_set_with(&small, &[0], 5, &mut scratch, &mut out);
+            assert_eq!(out, vec![1]);
+        }
+    }
+
+    #[test]
+    fn retire_matches_mark_executed() {
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        let mut a = ExecutionFrontier::new(&dag);
+        let mut b = ExecutionFrontier::new(&dag);
+        while !a.is_complete() {
+            let g = a.ready()[0];
+            let unlocked = a.retire(&dag, g);
+            let reported = b.mark_executed(&dag, g);
+            assert_eq!(unlocked, reported.len());
+            assert_eq!(a.ready(), b.ready(), "ready order must stay identical");
+            assert_eq!(&a.ready()[a.ready().len() - unlocked..], &reported[..]);
+        }
+        assert!(b.is_complete());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod optimize;
 mod qubit;
 
 pub use circuit::{Circuit, CircuitStats};
-pub use dag::{DependencyDag, ExecutionFrontier};
+pub use dag::{DependencyDag, ExecutionFrontier, ExtendedSetScratch};
 pub use error::CircuitError;
 pub use gate::{Gate, OneQubitKind, Params, TwoQubitKind};
 pub use qubit::Qubit;

@@ -30,6 +30,13 @@
 //! calls, keyed by content fingerprints of the device and its noise
 //! calibration.
 //!
+//! The routing hot loop itself runs on an incremental engine (module
+//! `search`): candidate SWAPs are delta-scored through a per-physical-
+//! qubit incidence list and every per-step buffer persists across the
+//! traversal — bit-identical to the seed implementation, which is
+//! retained in [`reference`](mod@reference) for differential testing and
+//! benchmarking.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -59,9 +66,11 @@ mod error;
 mod heuristic;
 mod layout;
 pub mod parallel;
+pub mod reference;
 mod result;
 pub mod router;
 mod sabre;
+mod search;
 pub mod transpile;
 
 pub use cache::{DeviceCache, DeviceCacheStats, EmbeddingVerdictCache};

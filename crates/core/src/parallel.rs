@@ -34,7 +34,7 @@ use rayon::prelude::*;
 use sabre_circuit::Circuit;
 use sabre_topology::CouplingGraph;
 
-use crate::sabre::RestartOutcome;
+use crate::sabre::{PreparedCircuit, RestartOutcome};
 use crate::transpile::finish_routed;
 use crate::{DeviceCache, RouteError, SabreResult, SabreRouter, TranspileOptions, TranspileOutput};
 
@@ -56,9 +56,13 @@ impl SabreRouter {
         self.check_fits(circuit)?;
         let start = Instant::now();
         let reversed = circuit.reversed();
+        // One prepared circuit (reversed copy + both traversal DAGs) is
+        // shared read-only by every worker; each restart owns its private
+        // SearchState scratch.
+        let prepared = PreparedCircuit::new(circuit, &reversed);
         let outcomes: Vec<RestartOutcome> = (0..self.config().num_restarts)
             .into_par_iter()
-            .map(|restart| self.run_restart(circuit, &reversed, restart))
+            .map(|restart| self.run_restart(&prepared, restart))
             .collect();
         Ok(self.assemble(circuit, outcomes, start))
     }

@@ -6,18 +6,43 @@
 //! function. The bidirectional driver in [`crate::SabreRouter`] calls this
 //! once per traversal; it is public so downstream users can route with a
 //! fixed initial mapping of their own.
+//!
+//! The inner loop runs on the incremental engine of the crate-private
+//! `search` module: delta-scored candidates over a persistent
+//! `SearchState`, zero heap allocations per steady-state search step. The
+//! original engine survives verbatim in [`crate::reference`] as the
+//! differential-testing and benchmarking baseline;
+//! `tests/hot_loop_equivalence.rs` pins the two to identical output.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 use sabre_circuit::{Circuit, DependencyDag, ExecutionFrontier, Qubit};
 use sabre_topology::{CouplingGraph, WeightedDistanceMatrix};
 
-use crate::heuristic::{score_swap, HeuristicInputs};
+use crate::search::SearchState;
 use crate::{Layout, RoutedCircuit, SabreConfig};
 
 /// Floating-point slack when collecting equally scored SWAP candidates for
 /// random tie-breaking.
-const SCORE_EPSILON: f64 = 1e-12;
+pub(crate) const SCORE_EPSILON: f64 = 1e-12;
+
+/// Everything immutable one traversal needs, bundled so the driver can
+/// prepare it once (per restart, per direction) and run many passes
+/// against it.
+#[derive(Clone, Copy)]
+pub(crate) struct PassContext<'a> {
+    /// The circuit being traversed (already reversed for backward passes).
+    pub(crate) circuit: &'a Circuit,
+    /// The device coupling graph.
+    pub(crate) graph: &'a CouplingGraph,
+    /// The distance matrix `D` steering the heuristic.
+    pub(crate) dist: &'a WeightedDistanceMatrix,
+    /// The circuit's dependency DAG (rebuildable from `circuit`, cached
+    /// here so repeated traversals of one circuit share it).
+    pub(crate) dag: &'a DependencyDag,
+    /// Search configuration.
+    pub(crate) config: &'a SabreConfig,
+}
 
 /// Routes `circuit` through one full traversal (Algorithm 1).
 ///
@@ -38,6 +63,34 @@ pub fn route_pass(
     config: &SabreConfig,
     rng: &mut StdRng,
 ) -> RoutedCircuit {
+    let dag = DependencyDag::new(circuit);
+    let mut state = SearchState::new(graph);
+    let ctx = PassContext {
+        circuit,
+        graph,
+        dist,
+        dag: &dag,
+        config,
+    };
+    route_pass_prepared(&ctx, initial_layout, rng, &mut state)
+}
+
+/// [`route_pass`] against caller-prepared context and scratch — the form
+/// the multi-restart driver uses so the DAG is built once per circuit and
+/// the [`SearchState`] buffers persist across traversals.
+pub(crate) fn route_pass_prepared(
+    ctx: &PassContext<'_>,
+    initial_layout: Layout,
+    rng: &mut StdRng,
+    state: &mut SearchState,
+) -> RoutedCircuit {
+    let PassContext {
+        circuit,
+        graph,
+        dist,
+        dag,
+        config,
+    } = *ctx;
     let n_phys = graph.num_qubits();
     assert_eq!(
         initial_layout.len(),
@@ -49,12 +102,10 @@ pub fn route_pass(
         "circuit does not fit on the device"
     );
 
-    let dag = DependencyDag::new(circuit);
-    let mut frontier = ExecutionFrontier::new(&dag);
+    let mut frontier = ExecutionFrontier::new(dag);
     let mut layout = initial_layout.clone();
     let mut out = Circuit::with_name(n_phys, circuit.name());
     let mut decay = DecayState::new(n_phys as usize, config);
-    let mut scratch = CandidateScratch::new(graph);
     let mut swaps_since_progress: usize = 0;
     let mut num_swaps = 0usize;
     let mut search_steps = 0usize;
@@ -63,25 +114,28 @@ pub fn route_pass(
     loop {
         // Execute every gate that is logically ready and physically
         // executable, repeating until the frontier stalls (the
-        // `Execute_gate_list` loop of Algorithm 1).
+        // `Execute_gate_list` loop of Algorithm 1). The snapshot is taken
+        // into a reused buffer — same iteration order as the seed's
+        // per-pass `ready().to_vec()` clone, no allocation.
         loop {
             let mut executed_any = false;
-            let ready: Vec<usize> = frontier.ready().to_vec();
-            for idx in ready {
+            state.ready_snapshot.clear();
+            state.ready_snapshot.extend_from_slice(frontier.ready());
+            for &idx in &state.ready_snapshot {
                 let gate = &circuit.gates()[idx];
                 match gate.qubits() {
                     // Single-qubit gates never block: emit on the wire the
                     // logical qubit currently occupies (§IV-A).
                     (_q, None) => {
                         out.push(gate.map_qubits(|l| layout.phys_of(l)));
-                        frontier.mark_executed(&dag, idx);
+                        frontier.retire(dag, idx);
                         executed_any = true;
                     }
                     (a, Some(b)) => {
                         let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
                         if graph.are_coupled(pa, pb) {
                             out.push(gate.map_qubits(|l| layout.phys_of(l)));
-                            frontier.mark_executed(&dag, idx);
+                            frontier.retire(dag, idx);
                             executed_any = true;
                             // Paper §V: decay resets after a CNOT executes.
                             decay.on_gate_executed();
@@ -99,14 +153,16 @@ pub fn route_pass(
         }
 
         // Front layer F: the ready-but-blocked two-qubit gates.
-        let front: Vec<usize> = frontier
-            .ready()
-            .iter()
-            .copied()
-            .filter(|&i| circuit.gates()[i].is_two_qubit())
-            .collect();
+        state.front.clear();
+        state.front.extend(
+            frontier
+                .ready()
+                .iter()
+                .copied()
+                .filter(|&i| circuit.gates()[i].is_two_qubit()),
+        );
         debug_assert!(
-            !front.is_empty(),
+            !state.front.is_empty(),
             "stalled frontier must contain a blocked two-qubit gate"
         );
 
@@ -115,7 +171,7 @@ pub fn route_pass(
         let limit = 3 * n_phys as usize + config.livelock_slack;
         if swaps_since_progress >= limit {
             forced_routings += 1;
-            let inserted = force_route(circuit, graph, &mut layout, &mut out, front[0]);
+            let inserted = force_route(circuit, graph, &mut layout, &mut out, state.front[0]);
             num_swaps += inserted;
             // Forced SWAPs are search work and must show up in the
             // telemetry, and the heuristic state they invalidate (§V decay
@@ -127,34 +183,40 @@ pub fn route_pass(
             continue;
         }
 
-        let extended = dag.extended_set(circuit, &front, config.extended_set_size);
-        let candidates = scratch.collect(circuit, graph, &layout, &front);
+        dag.extended_set_with(
+            circuit,
+            &state.front,
+            config.extended_set_size,
+            &mut state.extended_scratch,
+            &mut state.extended,
+        );
+
+        state
+            .incidence
+            .prepare(circuit, dist, &layout, &state.front, &state.extended);
+        let candidates = state
+            .candidates
+            .collect(circuit, graph, &layout, &state.front);
         debug_assert!(
             !candidates.is_empty(),
             "connected device always has candidates"
         );
 
-        let inputs = HeuristicInputs {
-            dist,
-            circuit,
-            front: &front,
-            extended: &extended,
-            weight: config.extended_set_weight,
-            kind: config.heuristic,
-        };
+        // Delta-scored sweep: each candidate costs O(incident gates), not
+        // O(|F| + |E|), and the layout is never touched.
         let mut best_score = f64::INFINITY;
-        let mut best: Vec<(Qubit, Qubit)> = Vec::new();
+        state.best.clear();
         for &swap in candidates {
-            let score = score_swap(&inputs, &mut layout, decay.values(), swap);
+            let score = state.incidence.score(dist, config, decay.values(), swap);
             if score < best_score - SCORE_EPSILON {
                 best_score = score;
-                best.clear();
-                best.push(swap);
+                state.best.clear();
+                state.best.push(swap);
             } else if (score - best_score).abs() <= SCORE_EPSILON {
-                best.push(swap);
+                state.best.push(swap);
             }
         }
-        let (sa, sb) = best[rng.gen_range(0..best.len())];
+        let (sa, sb) = state.best[rng.gen_range(0..state.best.len())];
 
         // Commit: emit the SWAP, update π, bump decay.
         out.swap(sa, sb);
@@ -176,75 +238,11 @@ pub fn route_pass(
     }
 }
 
-/// Caller-owned scratch for the per-step SWAP-candidate sweep.
-///
-/// The sweep implements the paper's reduced search space (§IV-C1): only
-/// SWAPs on coupling-graph edges with at least one endpoint hosting a
-/// front-layer logical qubit — "any SWAPs inside [the] low priority qubit
-/// set cannot help with resolving dependencies in the front layer."
-///
-/// The seed implementation allocated a fresh `Vec` every search step and
-/// deduplicated with `Vec::contains` — `O(d²)` in the front-layer degree
-/// and the exact per-step allocation churn ROADMAP's heuristic-throughput
-/// item names. This scratch is allocated once per traversal and
-/// deduplicates with a dense bitset over [`CouplingGraph::edge_index`];
-/// only the bits actually set are cleared between steps.
-pub(crate) struct CandidateScratch {
-    /// One slot per coupling-graph edge, indexed by `edge_index`.
-    seen: Vec<bool>,
-    /// The collected candidates, in first-encounter order (the same order
-    /// the seed implementation produced — tie-breaking draws depend on it).
-    buf: Vec<(Qubit, Qubit)>,
-}
-
-impl CandidateScratch {
-    pub(crate) fn new(graph: &CouplingGraph) -> Self {
-        CandidateScratch {
-            seen: vec![false; graph.num_edges()],
-            buf: Vec::new(),
-        }
-    }
-
-    /// Collects the candidate SWAPs for the current front layer. The
-    /// returned slice is valid until the next `collect` call.
-    pub(crate) fn collect(
-        &mut self,
-        circuit: &Circuit,
-        graph: &CouplingGraph,
-        layout: &Layout,
-        front: &[usize],
-    ) -> &[(Qubit, Qubit)] {
-        // Clear only the bits the previous step set.
-        for &(a, b) in &self.buf {
-            self.seen[graph.edge_index(a, b).expect("candidate is an edge")] = false;
-        }
-        self.buf.clear();
-        for &idx in front {
-            let (a, b) = circuit.gates()[idx].qubits();
-            let b = b.expect("front layer holds two-qubit gates");
-            for logical in [a, b] {
-                let phys = layout.phys_of(logical);
-                for &nb in graph.neighbors(phys) {
-                    let edge_id = graph
-                        .edge_index(phys, nb)
-                        .expect("neighbor pairs are edges");
-                    if !self.seen[edge_id] {
-                        self.seen[edge_id] = true;
-                        self.buf
-                            .push(if phys < nb { (phys, nb) } else { (nb, phys) });
-                    }
-                }
-            }
-        }
-        &self.buf
-    }
-}
-
 /// The per-qubit decay bookkeeping of paper §V: recently swapped qubits
 /// are de-prioritized (`value > 1`), and all values reset after a gate
 /// executes, after `decay_reset_interval` consecutive SWAP selections, or
 /// after a forced routing invalidates the accumulated state.
-struct DecayState {
+pub(crate) struct DecayState {
     values: Vec<f64>,
     swaps_since_reset: u32,
     delta: f64,
@@ -252,7 +250,7 @@ struct DecayState {
 }
 
 impl DecayState {
-    fn new(n_phys: usize, config: &SabreConfig) -> Self {
+    pub(crate) fn new(n_phys: usize, config: &SabreConfig) -> Self {
         DecayState {
             values: vec![1.0; n_phys],
             swaps_since_reset: 0,
@@ -261,7 +259,7 @@ impl DecayState {
         }
     }
 
-    fn values(&self) -> &[f64] {
+    pub(crate) fn values(&self) -> &[f64] {
         &self.values
     }
 
@@ -273,12 +271,12 @@ impl DecayState {
     }
 
     /// A two-qubit gate executed: the search made real progress.
-    fn on_gate_executed(&mut self) {
+    pub(crate) fn on_gate_executed(&mut self) {
         self.reset();
     }
 
     /// A SWAP was selected: bump its endpoints, reset on the interval.
-    fn on_swap_selected(&mut self, a: Qubit, b: Qubit) {
+    pub(crate) fn on_swap_selected(&mut self, a: Qubit, b: Qubit) {
         self.values[a.index()] += self.delta;
         self.values[b.index()] += self.delta;
         self.swaps_since_reset += 1;
@@ -292,7 +290,7 @@ impl DecayState {
     /// stale — restart clean (the forced gate executes next iteration,
     /// which would reset anyway; doing it here keeps the invariant even
     /// when the forced gate's successors stall first).
-    fn on_forced_route(&mut self) {
+    pub(crate) fn on_forced_route(&mut self) {
         self.reset();
     }
 }
@@ -300,7 +298,7 @@ impl DecayState {
 /// Fallback progress guarantee: walk the first blocked gate's control
 /// along a shortest path until adjacent to its target. Returns the number
 /// of SWAPs inserted.
-fn force_route(
+pub(crate) fn force_route(
     circuit: &Circuit,
     graph: &CouplingGraph,
     layout: &mut Layout,
@@ -326,6 +324,7 @@ fn force_route(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::CandidateScratch;
     use rand::SeedableRng;
     use sabre_topology::devices;
 

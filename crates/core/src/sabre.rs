@@ -9,9 +9,34 @@ use sabre_topology::embedding::{self, Embedding};
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::{CouplingGraph, DistanceMatrix, Qubit, WeightedDistanceMatrix};
 
+use sabre_circuit::DependencyDag;
+
 use crate::cache::EmbeddingVerdictCache;
-use crate::router::route_pass;
+use crate::router::{route_pass, route_pass_prepared, PassContext};
+use crate::search::SearchState;
 use crate::{Layout, RouteError, RoutedCircuit, SabreConfig, SabreResult, TraversalReport};
+
+/// Per-circuit state shared by every restart: the reversed circuit and
+/// both traversal DAGs, built **once** per `route` call instead of once
+/// per traversal. Immutable, so the rayon-parallel engine shares one copy
+/// across workers.
+pub(crate) struct PreparedCircuit<'a> {
+    circuit: &'a Circuit,
+    reversed: &'a Circuit,
+    dag_forward: DependencyDag,
+    dag_reverse: DependencyDag,
+}
+
+impl<'a> PreparedCircuit<'a> {
+    pub(crate) fn new(circuit: &'a Circuit, reversed: &'a Circuit) -> Self {
+        PreparedCircuit {
+            circuit,
+            reversed,
+            dag_forward: DependencyDag::new(circuit),
+            dag_reverse: DependencyDag::new(reversed),
+        }
+    }
+}
 
 /// Everything one restart (random initial mapping + `num_traversals`
 /// bidirectional passes) produced. Restarts are fully independent — the
@@ -205,8 +230,9 @@ impl SabreRouter {
         self.check_fits(circuit)?;
         let start = Instant::now();
         let reversed = circuit.reversed();
+        let prepared = PreparedCircuit::new(circuit, &reversed);
         let outcomes: Vec<RestartOutcome> = (0..self.config.num_restarts)
-            .map(|restart| self.run_restart(circuit, &reversed, restart))
+            .map(|restart| self.run_restart(&prepared, restart))
             .collect();
         Ok(self.assemble(circuit, outcomes, start))
     }
@@ -230,10 +256,13 @@ impl SabreRouter {
     /// The RNG stream depends only on `(config.seed, restart)`, never on
     /// which thread runs the restart — this is what makes the parallel
     /// engine ([`crate::parallel`]) bit-identical to the sequential loop.
+    ///
+    /// The traversal DAGs come pre-built in `prepared`; the search scratch
+    /// ([`SearchState`]) is created once here and persists across the
+    /// restart's traversals, so only the first pass pays any allocation.
     pub(crate) fn run_restart(
         &self,
-        circuit: &Circuit,
-        reversed: &Circuit,
+        prepared: &PreparedCircuit<'_>,
         restart: usize,
     ) -> RestartOutcome {
         let n_phys = self.graph.num_qubits();
@@ -247,18 +276,26 @@ impl SabreRouter {
         let mut last_pass: Option<RoutedCircuit> = None;
         let mut reports = Vec::with_capacity(self.config.num_traversals);
         let mut first_traversal_swaps = 0;
+        let mut state = SearchState::new(&self.graph);
 
         for traversal in 0..self.config.num_traversals {
             let is_reverse = traversal % 2 == 1;
-            let target = if is_reverse { reversed } else { circuit };
-            let pass = route_pass(
-                target,
-                &self.graph,
-                &self.cost,
-                layout,
-                &self.config,
-                &mut rng,
-            );
+            let ctx = PassContext {
+                circuit: if is_reverse {
+                    prepared.reversed
+                } else {
+                    prepared.circuit
+                },
+                graph: &self.graph,
+                dist: &self.cost,
+                dag: if is_reverse {
+                    &prepared.dag_reverse
+                } else {
+                    &prepared.dag_forward
+                },
+                config: &self.config,
+            };
+            let pass = route_pass_prepared(&ctx, layout, &mut rng, &mut state);
             layout = pass.final_layout.clone();
             reports.push(TraversalReport {
                 restart,

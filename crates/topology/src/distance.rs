@@ -93,6 +93,21 @@ impl DistanceMatrix {
         self.data[a.index() * self.n + b.index()]
     }
 
+    /// Row `D[a][·]` as a contiguous slice indexed by physical qubit.
+    ///
+    /// The matrix is row-major, so sweeping many targets against one
+    /// source does `len`-checked-once indexed loads over adjacent memory
+    /// instead of a bounds check and multiply per [`DistanceMatrix::get`]
+    /// call — the access pattern the router's candidate sweep wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[inline]
+    pub fn row(&self, a: Qubit) -> &[u32] {
+        &self.data[a.index() * self.n..(a.index() + 1) * self.n]
+    }
+
     /// `true` when `a` and `b` are distinct and directly coupled.
     #[inline]
     pub fn adjacent(&self, a: Qubit, b: Qubit) -> bool {
@@ -184,14 +199,29 @@ impl WeightedDistanceMatrix {
     pub fn get(&self, a: Qubit, b: Qubit) -> f64 {
         self.data[a.index() * self.n + b.index()]
     }
+
+    /// Row `D[a][·]` as a contiguous `&[f64]` indexed by physical qubit.
+    ///
+    /// This is the hot-path view: the router's delta scorer resolves every
+    /// candidate SWAP's adjusted distances against one or two rows, so a
+    /// row slice turns the inner loop into contiguous indexed loads
+    /// (SIMD-friendly, one bounds check per row instead of one per
+    /// lookup via [`WeightedDistanceMatrix::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[inline]
+    pub fn row(&self, a: Qubit) -> &[f64] {
+        &self.data[a.index() * self.n..(a.index() + 1) * self.n]
+    }
 }
 
 impl fmt::Display for DistanceMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "distance matrix ({} qubits):", self.n)?;
         for i in 0..self.n {
-            for j in 0..self.n {
-                let d = self.data[i * self.n + j];
+            for &d in self.row(Qubit(i as u32)) {
                 if d == Self::UNREACHABLE {
                     write!(f, "  ∞")?;
                 } else {
@@ -350,6 +380,23 @@ mod tests {
         let g = CouplingGraph::from_edges(3, [(0, 1)]).unwrap();
         let w = WeightedDistanceMatrix::hops(&g);
         assert!(w.get(Qubit(0), Qubit(2)).is_infinite());
+    }
+
+    #[test]
+    fn rows_agree_with_get() {
+        let g = square();
+        let d = DistanceMatrix::floyd_warshall(&g);
+        let w = WeightedDistanceMatrix::hops(&g);
+        for i in 0..4u32 {
+            let drow = d.row(Qubit(i));
+            let wrow = w.row(Qubit(i));
+            assert_eq!(drow.len(), 4);
+            assert_eq!(wrow.len(), 4);
+            for j in 0..4u32 {
+                assert_eq!(drow[j as usize], d.get(Qubit(i), Qubit(j)));
+                assert_eq!(wrow[j as usize], w.get(Qubit(i), Qubit(j)));
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct CouplingGraph {
     adjacency: Vec<Vec<Qubit>>,
     /// Canonical edge list, each `(a, b)` with `a < b`, sorted.
     edges: Vec<(Qubit, Qubit)>,
+    /// `neighbor_edge_ids[q][i]` = [`CouplingGraph::edge_index`] of the
+    /// coupling `(q, adjacency[q][i])` — precomputed so hot loops walking
+    /// a neighborhood get each edge's dense id without a binary search.
+    neighbor_edge_ids: Vec<Vec<u32>>,
 }
 
 impl CouplingGraph {
@@ -114,10 +118,28 @@ impl CouplingGraph {
         for neighbors in &mut adjacency {
             neighbors.sort_unstable();
         }
+        let neighbor_edge_ids = adjacency
+            .iter()
+            .enumerate()
+            .map(|(q, neighbors)| {
+                neighbors
+                    .iter()
+                    .map(|&nb| {
+                        let key = if Qubit(q as u32) < nb {
+                            (Qubit(q as u32), nb)
+                        } else {
+                            (nb, Qubit(q as u32))
+                        };
+                        canonical.binary_search(&key).expect("adjacency edge") as u32
+                    })
+                    .collect()
+            })
+            .collect();
         Ok(CouplingGraph {
             num_qubits,
             adjacency,
             edges: canonical,
+            neighbor_edge_ids,
         })
     }
 
@@ -187,6 +209,22 @@ impl CouplingGraph {
     /// Panics if `q` is outside the device.
     pub fn neighbors(&self, q: Qubit) -> &[Qubit] {
         &self.adjacency[q.index()]
+    }
+
+    /// Dense [`CouplingGraph::edge_index`] ids of `q`'s couplings, aligned
+    /// with [`CouplingGraph::neighbors`]: `neighbor_edge_ids(q)[i]` is the
+    /// edge id of `(q, neighbors(q)[i])`.
+    ///
+    /// Precomputed at construction — the router's candidate sweep visits
+    /// every neighbor of every front-layer qubit each search step, and
+    /// this turns its per-neighbor edge-id resolution from a binary
+    /// search over the edge list into an indexed load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside the device.
+    pub fn neighbor_edge_ids(&self, q: Qubit) -> &[u32] {
+        &self.neighbor_edge_ids[q.index()]
     }
 
     /// Degree of `q` in the coupling graph.
