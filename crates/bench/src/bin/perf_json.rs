@@ -1,7 +1,7 @@
 //! **Perf-trajectory harness**: routes a fixed synthetic corpus through
-//! the hot loop and writes a machine-readable `BENCH_routing.json`, so
-//! every future PR can compare its per-step routing throughput against a
-//! committed baseline instead of re-deriving one from criterion logs.
+//! the hot loop and maintains a machine-readable `BENCH_routing.json`, so
+//! every future PR can compare its per-step routing throughput against
+//! the committed history instead of re-deriving one from criterion logs.
 //!
 //! The corpus is pinned (devices × circuit shapes × seeds below); each
 //! entry is routed `repeats` times through a single forward
@@ -11,20 +11,24 @@
 //! `num_swaps`/`search_steps` are stable across runs and machines — only
 //! the nanosecond figures move.
 //!
-//! The JSON schema (`sabre-perf-trajectory/v1`) is documented in
-//! README.md §Performance.
+//! The output file is a **history** (schema `sabre-perf-trajectory/v2`,
+//! documented in README.md §Performance): one point per git revision,
+//! appended on each run. Re-running at an already-recorded revision
+//! replaces that revision's point; a v1 file (single point, PR 3's
+//! format) is migrated in place. JSON is read and written through the
+//! shared [`sabre_json`] layer — the same code the serving crate uses.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p sabre_bench --release --bin perf_json -- \
-//!     [--out BENCH_routing.json] [--repeats 7] [--quick]
+//!     [--out BENCH_routing.json] [--repeats 7] [--quick] [--fresh]
 //! ```
 //!
 //! `--quick` drops to 2 repeats — the CI smoke configuration (validity
-//! and runtime ceiling, not statistics).
+//! and runtime ceiling, not statistics). `--fresh` discards any existing
+//! history instead of appending.
 
-use std::fmt::Write as _;
 use std::process::Command;
 use std::time::Instant;
 
@@ -35,7 +39,13 @@ use sabre::{Layout, SabreConfig};
 use sabre_benchgen::random;
 use sabre_circuit::fingerprint::Fingerprinter;
 use sabre_circuit::Circuit;
+use sabre_json::JsonValue;
 use sabre_topology::{devices, CouplingGraph, WeightedDistanceMatrix};
+
+/// Schema tag of the history file.
+const SCHEMA_V2: &str = "sabre-perf-trajectory/v2";
+/// PR 3's single-point schema, migrated on first append.
+const SCHEMA_V1: &str = "sabre-perf-trajectory/v1";
 
 /// One measured corpus entry.
 struct Entry {
@@ -47,6 +57,21 @@ struct Entry {
     search_steps: usize,
     median_wall_ns: u128,
     median_ns_per_step: u128,
+}
+
+impl Entry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("device", self.device.into()),
+            ("circuit", self.circuit.into()),
+            ("num_qubits", self.num_qubits.into()),
+            ("num_gates", self.num_gates.into()),
+            ("num_swaps", self.num_swaps.into()),
+            ("search_steps", self.search_steps.into()),
+            ("median_wall_ns", self.median_wall_ns.into()),
+            ("median_ns_per_step", self.median_ns_per_step.into()),
+        ])
+    }
 }
 
 /// The pinned corpus: `(device, graph, circuit label, qubits, gates)`.
@@ -87,7 +112,10 @@ fn measure(graph: &CouplingGraph, circuit: &Circuit, repeats: usize) -> (usize, 
 /// Current git revision — the trajectory's x-axis. Falls back to
 /// `GITHUB_SHA` (CI checkouts without a full repo) and then `"unknown"`.
 /// Both paths report the same 12-character short form so trajectory
-/// points recorded in different environments key identically.
+/// points recorded in different environments key identically. A dirty
+/// working tree gets a `-dirty` suffix: the measured code is *not* the
+/// named commit, and labeling it as such would let an in-progress run
+/// overwrite (or masquerade as) the real measurement for that commit.
 fn git_rev() -> String {
     let from_git = Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
@@ -97,47 +125,66 @@ fn git_rev() -> String {
         .and_then(|out| String::from_utf8(out.stdout).ok())
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty());
-    from_git
-        .or_else(|| {
-            std::env::var("GITHUB_SHA")
-                .ok()
-                .map(|sha| sha.chars().take(12).collect())
-        })
+    if let Some(rev) = from_git {
+        let dirty = Command::new("git")
+            .args(["status", "--porcelain"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .is_some_and(|out| !out.stdout.is_empty());
+        return if dirty { format!("{rev}-dirty") } else { rev };
+    }
+    std::env::var("GITHUB_SHA")
+        .ok()
+        .map(|sha| sha.chars().take(12).collect())
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn render_json(rev: &str, repeats: usize, entries: &[Entry]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"sabre-perf-trajectory/v1\",");
-    let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
-    let _ = writeln!(s, "  \"engine\": \"incremental\",");
-    let _ = writeln!(s, "  \"config\": \"fast\",");
-    let _ = writeln!(s, "  \"repeats\": {repeats},");
-    s.push_str("  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        s.push_str("    {\n");
-        let _ = writeln!(s, "      \"device\": \"{}\",", e.device);
-        let _ = writeln!(s, "      \"circuit\": \"{}\",", e.circuit);
-        let _ = writeln!(s, "      \"num_qubits\": {},", e.num_qubits);
-        let _ = writeln!(s, "      \"num_gates\": {},", e.num_gates);
-        let _ = writeln!(s, "      \"num_swaps\": {},", e.num_swaps);
-        let _ = writeln!(s, "      \"search_steps\": {},", e.search_steps);
-        let _ = writeln!(s, "      \"median_wall_ns\": {},", e.median_wall_ns);
-        let _ = writeln!(s, "      \"median_ns_per_step\": {}", e.median_ns_per_step);
-        s.push_str(if i + 1 < entries.len() {
-            "    },\n"
-        } else {
-            "    }\n"
-        });
+/// One trajectory point: everything measured at one revision.
+fn render_point(rev: &str, repeats: usize, entries: &[Entry]) -> JsonValue {
+    JsonValue::object([
+        ("git_rev", rev.into()),
+        ("engine", "incremental".into()),
+        ("config", "fast".into()),
+        ("repeats", repeats.into()),
+        ("entries", entries.iter().map(Entry::to_json).collect()),
+    ])
+}
+
+/// Loads the existing history (if any) as a list of points, migrating a
+/// v1 single-point file. Unreadable or unrecognized files abort rather
+/// than being silently overwritten.
+fn load_history(path: &str) -> Vec<JsonValue> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new(); // no file yet: fresh history
+    };
+    let doc = JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("{path} exists but is not valid JSON ({e}); use --fresh"));
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(SCHEMA_V2) => doc
+            .get("points")
+            .and_then(JsonValue::as_array)
+            .unwrap_or_else(|| panic!("{path}: v2 file without a points array"))
+            .to_vec(),
+        Some(SCHEMA_V1) => {
+            // v1 was one point with the schema inline; strip the tag.
+            let point = doc
+                .as_object()
+                .expect("v1 document is an object")
+                .iter()
+                .filter(|(k, _)| k != "schema")
+                .cloned()
+                .collect();
+            vec![JsonValue::Object(point)]
+        }
+        other => panic!("{path}: unrecognized schema {other:?}; use --fresh"),
     }
-    s.push_str("  ]\n}\n");
-    s
 }
 
 fn main() {
     let mut out_path = "BENCH_routing.json".to_string();
     let mut repeats = 7usize;
+    let mut fresh = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -151,7 +198,8 @@ fn main() {
                 assert!(repeats > 0, "--repeats must be ≥ 1");
             }
             "--quick" => repeats = 2,
-            other => panic!("unknown argument `{other}` (try --out/--repeats/--quick)"),
+            "--fresh" => fresh = true,
+            other => panic!("unknown argument `{other}` (try --out/--repeats/--quick/--fresh)"),
         }
     }
 
@@ -183,7 +231,25 @@ fn main() {
         });
     }
 
-    let json = render_json(&git_rev(), repeats, &entries);
-    std::fs::write(&out_path, &json).expect("writing the trajectory file");
-    println!("wrote {out_path}");
+    let rev = git_rev();
+    let mut points = if fresh {
+        Vec::new()
+    } else {
+        load_history(&out_path)
+    };
+    let point = render_point(&rev, repeats, &entries);
+    // One point per revision: re-running replaces this rev's measurement.
+    match points
+        .iter_mut()
+        .find(|p| p.get("git_rev").and_then(JsonValue::as_str) == Some(rev.as_str()))
+    {
+        Some(existing) => *existing = point,
+        None => points.push(point),
+    }
+    let history = JsonValue::object([
+        ("schema", SCHEMA_V2.into()),
+        ("points", JsonValue::Array(points)),
+    ]);
+    std::fs::write(&out_path, history.to_pretty()).expect("writing the trajectory file");
+    println!("wrote {out_path} (revision {rev})");
 }

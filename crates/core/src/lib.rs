@@ -77,7 +77,7 @@ pub use cache::{DeviceCache, DeviceCacheStats, EmbeddingVerdictCache};
 pub use config::{HeuristicKind, SabreConfig};
 pub use error::RouteError;
 pub use layout::Layout;
-pub use parallel::{transpile_batch, transpile_batch_cached};
+pub use parallel::{transpile_batch, transpile_batch_cached, BatchOutcome};
 pub use result::{RoutedCircuit, SabreResult, TraversalReport};
 pub use sabre::SabreRouter;
 pub use transpile::{transpile, TranspileOptions, TranspileOutput};

@@ -109,15 +109,65 @@ pub fn transpile_batch(
     Ok(run_batch(&router, circuits, options))
 }
 
+/// Per-circuit outcome of [`transpile_batch_cached`]: a batch never fails
+/// as a whole — every slot reports success or the error that sank it, so a
+/// serving layer can return partial-success responses instead of turning
+/// one bad circuit (or a bad batch-level option) into an all-or-nothing
+/// failure.
+#[derive(Clone, Debug)]
+pub enum BatchOutcome {
+    /// This circuit transpiled successfully.
+    Transpiled(TranspileOutput),
+    /// This circuit failed. When the error is batch-level (invalid config,
+    /// disconnected device — conditions independent of any circuit) every
+    /// slot carries a copy of it.
+    Failed(RouteError),
+}
+
+impl BatchOutcome {
+    /// Whether this slot succeeded.
+    pub fn is_transpiled(&self) -> bool {
+        matches!(self, BatchOutcome::Transpiled(_))
+    }
+
+    /// The output, if this slot succeeded.
+    pub fn output(&self) -> Option<&TranspileOutput> {
+        match self {
+            BatchOutcome::Transpiled(out) => Some(out),
+            BatchOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The error, if this slot failed.
+    pub fn error(&self) -> Option<&RouteError> {
+        match self {
+            BatchOutcome::Transpiled(_) => None,
+            BatchOutcome::Failed(err) => Some(err),
+        }
+    }
+
+    /// View as a standard `Result` (what pre-`BatchOutcome` callers
+    /// consumed).
+    pub fn as_result(&self) -> Result<&TranspileOutput, &RouteError> {
+        match self {
+            BatchOutcome::Transpiled(out) => Ok(out),
+            BatchOutcome::Failed(err) => Err(err),
+        }
+    }
+}
+
 /// [`transpile_batch`] against a [`DeviceCache`]: the router comes from
 /// the cache, so across *calls* (the shape of a transpilation service —
 /// many batches, few devices) the `O(N³)` preprocessing runs once per
 /// device instead of once per batch, and probe verdicts accumulate.
-/// Output is bit-identical to [`transpile_batch`] for a fixed seed.
+/// Successful slots are bit-identical to [`transpile_batch`] for a fixed
+/// seed.
 ///
-/// # Errors
-///
-/// Same conditions as [`transpile_batch`].
+/// Unlike [`transpile_batch`], this never fails as a whole: router
+/// construction errors (invalid config, disconnected device) are
+/// replicated into **every** slot as [`BatchOutcome::Failed`], and
+/// per-circuit errors land in their own slot — the partial-success shape a
+/// long-running service needs. `results[i]` corresponds to `circuits[i]`.
 ///
 /// # Example
 ///
@@ -128,27 +178,42 @@ pub fn transpile_batch(
 ///
 /// let cache = DeviceCache::new();
 /// let tokyo = devices::ibm_q20_tokyo();
-/// let circuits = vec![qft::qft(4), qft::qft(5)];
+/// // qft(25) needs more qubits than Tokyo has: its slot fails, the
+/// // others are unaffected.
+/// let circuits = vec![qft::qft(4), qft::qft(25), qft::qft(5)];
 /// for _ in 0..3 {
-///     let outputs =
-///         transpile_batch_cached(&circuits, tokyo.graph(), &TranspileOptions::default(), &cache)?;
-///     assert!(outputs.iter().all(Result::is_ok));
+///     let outcomes =
+///         transpile_batch_cached(&circuits, tokyo.graph(), &TranspileOptions::default(), &cache);
+///     assert!(outcomes[0].is_transpiled());
+///     assert!(outcomes[1].error().is_some());
+///     assert!(outcomes[2].is_transpiled());
 /// }
 /// // Preprocessing ran once; the two later batches were warm.
 /// assert_eq!(cache.stats().graph_misses, 1);
-/// # Ok::<(), sabre::RouteError>(())
 /// ```
 pub fn transpile_batch_cached(
     circuits: &[Circuit],
     graph: &CouplingGraph,
     options: &TranspileOptions,
     cache: &DeviceCache,
-) -> Result<Vec<Result<TranspileOutput, RouteError>>, RouteError> {
+) -> Vec<BatchOutcome> {
     let router = match &options.noise {
-        Some(noise) => cache.router_with_noise(graph, options.config, noise)?,
-        None => cache.router(graph, options.config)?,
+        Some(noise) => cache.router_with_noise(graph, options.config, noise),
+        None => cache.router(graph, options.config),
     };
-    Ok(run_batch(&router, circuits, options))
+    match router {
+        Ok(router) => run_batch(&router, circuits, options)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(out) => BatchOutcome::Transpiled(out),
+                Err(err) => BatchOutcome::Failed(err),
+            })
+            .collect(),
+        Err(err) => circuits
+            .iter()
+            .map(|_| BatchOutcome::Failed(err.clone()))
+            .collect(),
+    }
 }
 
 /// The shared fan-out: route every circuit concurrently and finish each
@@ -265,10 +330,9 @@ mod tests {
         let circuits: Vec<Circuit> = (0..4).map(|i| workload(10, 30 + i, (5, 7))).collect();
         let uncached = transpile_batch(&circuits, device.graph(), &options).unwrap();
         for round in 0..2 {
-            let cached =
-                transpile_batch_cached(&circuits, device.graph(), &options, &cache).unwrap();
+            let cached = transpile_batch_cached(&circuits, device.graph(), &options, &cache);
             for (a, b) in uncached.iter().zip(&cached) {
-                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                let (a, b) = (a.as_ref().unwrap(), b.output().unwrap());
                 assert_eq!(a.circuit, b.circuit, "round {round}");
                 assert_eq!(a.initial_layout, b.initial_layout);
                 assert_eq!(a.final_layout, b.final_layout);
@@ -283,5 +347,63 @@ mod tests {
         let disconnected = sabre_topology::CouplingGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let err = transpile_batch(&[], &disconnected, &TranspileOptions::default()).unwrap_err();
         assert_eq!(err, RouteError::DisconnectedDevice);
+    }
+
+    #[test]
+    fn cached_batch_isolates_per_circuit_errors() {
+        let device = devices::linear(4);
+        let cache = DeviceCache::new();
+        let circuits = vec![
+            workload(4, 12, (3, 2)),
+            workload(6, 12, (3, 2)), // too big for 4 physical qubits
+            workload(3, 6, (2, 1)),
+        ];
+        let outcomes = transpile_batch_cached(
+            &circuits,
+            device.graph(),
+            &TranspileOptions::default(),
+            &cache,
+        );
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_transpiled());
+        assert_eq!(
+            outcomes[1].error(),
+            Some(&RouteError::DeviceTooSmall {
+                required: 6,
+                available: 4
+            })
+        );
+        assert!(outcomes[2].is_transpiled());
+        assert!(outcomes[1].as_result().is_err());
+    }
+
+    #[test]
+    fn cached_batch_replicates_batch_level_errors_per_slot() {
+        let disconnected = sabre_topology::CouplingGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let cache = DeviceCache::new();
+        let circuits = vec![workload(3, 6, (2, 1)), workload(3, 8, (2, 1))];
+        let outcomes = transpile_batch_cached(
+            &circuits,
+            &disconnected,
+            &TranspileOptions::default(),
+            &cache,
+        );
+        assert_eq!(outcomes.len(), 2);
+        for outcome in &outcomes {
+            assert_eq!(outcome.error(), Some(&RouteError::DisconnectedDevice));
+        }
+
+        let bad_config = TranspileOptions {
+            config: SabreConfig {
+                num_traversals: 2,
+                ..SabreConfig::default()
+            },
+            ..TranspileOptions::default()
+        };
+        let outcomes =
+            transpile_batch_cached(&circuits, devices::linear(4).graph(), &bad_config, &cache);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o.error(), Some(RouteError::InvalidConfig { .. }))));
     }
 }

@@ -2,8 +2,19 @@ use std::fmt;
 use std::time::Duration;
 
 use sabre_circuit::Circuit;
+use sabre_json::JsonValue;
 
 use crate::Layout;
+
+/// A layout as JSON: the logical→physical mapping as an array of physical
+/// indices (`value[i]` = physical qubit hosting logical qubit `i`).
+pub(crate) fn layout_to_json(layout: &Layout) -> JsonValue {
+    layout
+        .logical_to_physical()
+        .iter()
+        .map(|q| u64::from(q.0))
+        .collect()
+}
 
 /// The output of routing one circuit: a hardware-compliant physical
 /// circuit plus the mappings relating it to the logical input.
@@ -55,6 +66,27 @@ impl RoutedCircuit {
     /// Depth of the decomposed circuit (`d` of the output).
     pub fn depth(&self) -> usize {
         self.decomposed().depth()
+    }
+
+    /// The routing artifact as a JSON object — the serialization hook the
+    /// serving layer builds its `/route` responses from.
+    ///
+    /// Contains the summary counters (`num_swaps`, `search_steps`,
+    /// `forced_routings`, `added_gates`, `num_gates`, `depth`) and both
+    /// layouts as logical→physical index arrays; the physical gate list
+    /// itself is *not* embedded (serialize it separately, e.g. as OpenQASM
+    /// via `sabre_qasm::to_qasm`, when the caller asked for it).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("num_swaps", self.num_swaps.into()),
+            ("search_steps", self.search_steps.into()),
+            ("forced_routings", self.forced_routings.into()),
+            ("added_gates", self.added_gates().into()),
+            ("num_gates", self.physical.num_gates().into()),
+            ("depth", self.depth().into()),
+            ("initial_layout", layout_to_json(&self.initial_layout)),
+            ("final_layout", layout_to_json(&self.final_layout)),
+        ])
     }
 }
 
@@ -115,6 +147,44 @@ impl SabreResult {
     /// 3-traversal configuration).
     pub fn added_gates(&self) -> usize {
         self.best.added_gates()
+    }
+
+    /// Search steps summed over **every** traversal of every restart —
+    /// the total hot-loop effort behind [`Self::elapsed`], as opposed to
+    /// [`RoutedCircuit::search_steps`] which counts only the winning
+    /// traversal. (For `route_pass` one step is one inserted SWAP, forced
+    /// routings included, so this is the sum of per-traversal SWAP
+    /// counts.)
+    pub fn total_search_steps(&self) -> usize {
+        self.traversals.iter().map(|t| t.num_swaps).sum()
+    }
+
+    /// Mean wall nanoseconds per search step over the whole routing call —
+    /// the admission-control metric a serving layer exports (ROADMAP
+    /// "per-step ns into the service layer's admission metrics"). Zero
+    /// steps (e.g. a perfect placement on the first try) reports the full
+    /// elapsed time against one step to stay finite.
+    pub fn ns_per_step(&self) -> u128 {
+        self.elapsed.as_nanos() / self.total_search_steps().max(1) as u128
+    }
+
+    /// The full result as a JSON object: the [`RoutedCircuit::to_json`]
+    /// payload under `"best"`, plus restart/probe provenance and the
+    /// timing telemetry (`elapsed_ns`, `total_search_steps`,
+    /// `ns_per_step`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("best", self.best.to_json()),
+            ("best_restart", self.best_restart.into()),
+            ("perfect_placement", self.perfect_placement.into()),
+            (
+                "first_traversal_added_gates",
+                self.first_traversal_added_gates.into(),
+            ),
+            ("total_search_steps", self.total_search_steps().into()),
+            ("elapsed_ns", self.elapsed.as_nanos().into()),
+            ("ns_per_step", self.ns_per_step().into()),
+        ])
     }
 }
 
@@ -183,5 +253,80 @@ mod tests {
         let text = sample_routed().to_string();
         assert!(text.contains("1 swaps"));
         assert!(text.contains("+3 gates"));
+    }
+
+    #[test]
+    fn routed_to_json_carries_counters_and_layouts() {
+        let json = sample_routed().to_json();
+        assert_eq!(json.get("num_swaps").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("added_gates").unwrap().as_usize(), Some(3));
+        assert_eq!(json.get("depth").unwrap().as_usize(), Some(5));
+        let initial: Vec<u64> = json
+            .get("initial_layout")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(initial, [0, 1, 2]);
+        let final_: Vec<u64> = json
+            .get("final_layout")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(final_, [0, 2, 1]);
+        // The document survives a serialization round trip.
+        let text = json.to_compact();
+        assert_eq!(sabre_json::JsonValue::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn sabre_result_telemetry_sums_all_traversals() {
+        let result = SabreResult {
+            best: sample_routed(),
+            best_restart: 1,
+            perfect_placement: false,
+            traversals: vec![
+                TraversalReport {
+                    restart: 0,
+                    traversal: 0,
+                    reversed: false,
+                    num_swaps: 4,
+                },
+                TraversalReport {
+                    restart: 0,
+                    traversal: 1,
+                    reversed: true,
+                    num_swaps: 6,
+                },
+            ],
+            first_traversal_added_gates: 12,
+            elapsed: Duration::from_nanos(1000),
+        };
+        assert_eq!(result.total_search_steps(), 10);
+        assert_eq!(result.ns_per_step(), 100);
+        let json = result.to_json();
+        assert_eq!(json.get("total_search_steps").unwrap().as_usize(), Some(10));
+        assert_eq!(json.get("elapsed_ns").unwrap().as_u64(), Some(1000));
+        assert_eq!(json.get("ns_per_step").unwrap().as_u64(), Some(100));
+        assert!(json.get("best").unwrap().get("num_swaps").is_some());
+    }
+
+    #[test]
+    fn ns_per_step_survives_zero_steps() {
+        let result = SabreResult {
+            best: sample_routed(),
+            best_restart: 0,
+            perfect_placement: true,
+            traversals: vec![],
+            first_traversal_added_gates: 0,
+            elapsed: Duration::from_nanos(42),
+        };
+        assert_eq!(result.total_search_steps(), 0);
+        assert_eq!(result.ns_per_step(), 42);
     }
 }

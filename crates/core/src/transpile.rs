@@ -61,6 +61,29 @@ impl TranspileOutput {
     pub fn overhead(&self, original: &Circuit) -> isize {
         self.circuit.num_gates() as isize - original.num_gates() as isize
     }
+
+    /// The pipeline output as a JSON object (counters, depth, and both
+    /// layouts as logical→physical index arrays) — the serialization hook
+    /// behind the serving layer's `/transpile_batch` responses. The gate
+    /// list is not embedded; serialize `self.circuit` separately (e.g. via
+    /// `sabre_qasm::to_qasm`) when the caller wants it.
+    pub fn to_json(&self) -> sabre_json::JsonValue {
+        sabre_json::JsonValue::object([
+            ("num_gates", self.circuit.num_gates().into()),
+            ("depth", self.circuit.depth().into()),
+            ("swaps_inserted", self.swaps_inserted.into()),
+            ("gates_removed", self.gates_removed.into()),
+            ("cnots_flipped", self.cnots_flipped.into()),
+            (
+                "initial_layout",
+                crate::result::layout_to_json(&self.initial_layout),
+            ),
+            (
+                "final_layout",
+                crate::result::layout_to_json(&self.final_layout),
+            ),
+        ])
+    }
 }
 
 /// Runs the full pipeline. See the [module documentation](self) for the

@@ -1,0 +1,235 @@
+use std::fmt;
+
+/// A JSON document: the tree produced by [`JsonValue::parse`] and consumed
+/// by the writers.
+///
+/// Objects are stored as an insertion-ordered `Vec` of pairs rather than a
+/// hash map: the workspace's JSON is small (requests, responses, trajectory
+/// files), and stable field order keeps serialized output reproducible and
+/// diffable. Lookup by key is linear — fine at these sizes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without a fraction or exponent. `i128` covers
+    /// nanosecond totals and `u64` seeds without loss.
+    Int(i128),
+    /// A number with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in insertion order. Duplicate keys are rejected by the
+    /// parser; builders are trusted not to produce them.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    ///
+    /// ```
+    /// # use sabre_json::JsonValue;
+    /// let v = JsonValue::object([("a", 1u64.into()), ("b", true.into())]);
+    /// assert_eq!(v.to_compact(), r#"{"a":1,"b":true}"#);
+    /// ```
+    pub fn object<K, I>(pairs: I) -> JsonValue
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, JsonValue)>,
+    {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Member lookup on objects; `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i128`, if it is an integer.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i128().and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_i128().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The value as an `f64`: floats directly, integers converted.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(x) => Some(*x),
+            JsonValue::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> Self {
+        JsonValue::Int(n.into())
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Int(n.into())
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Int(n as i128)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Int(n.into())
+    }
+}
+
+impl From<u128> for JsonValue {
+    /// Saturates at `i128::MAX` (which no real counter reaches).
+    fn from(n: u128) -> Self {
+        JsonValue::Int(i128::try_from(n).unwrap_or(i128::MAX))
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl<T: Into<JsonValue>> FromIterator<T> for JsonValue {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        JsonValue::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for JsonValue {
+    /// Compact rendering (same as [`JsonValue::to_compact`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_narrow_types() {
+        let v = JsonValue::object([
+            ("i", JsonValue::Int(-3)),
+            ("u", JsonValue::Int(7)),
+            ("f", JsonValue::Float(1.5)),
+            ("s", "hi".into()),
+            ("b", true.into()),
+            ("n", JsonValue::Null),
+        ]);
+        assert_eq!(v.get("i").unwrap().as_i128(), Some(-3));
+        assert_eq!(v.get("i").unwrap().as_u64(), None);
+        assert_eq!(v.get("u").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("u").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert!(v.get("n").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+        assert!(JsonValue::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let v = JsonValue::object([("z", 1u64.into()), ("a", 2u64.into())]);
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn collect_builds_arrays() {
+        let v: JsonValue = (0u64..3).collect();
+        assert_eq!(v.to_compact(), "[0,1,2]");
+    }
+}

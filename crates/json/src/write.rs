@@ -1,0 +1,170 @@
+use crate::JsonValue;
+
+impl JsonValue {
+    /// Serializes without any whitespace — the wire format for HTTP
+    /// bodies.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline — the
+    /// on-disk format for committed artifacts like `BENCH_routing.json`
+    /// (kept `python3 -m json.tool`-compatible for the CI gate).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// `indent = None` means compact; `Some(width)` pretty-prints.
+fn write_value(out: &mut String, value: &JsonValue, indent: Option<usize>, level: usize) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Int(n) => out.push_str(&n.to_string()),
+        JsonValue::Float(x) => write_float(out, *x),
+        JsonValue::Str(s) => write_string(out, s),
+        JsonValue::Array(items) => write_seq(out, items.len(), indent, level, b'[', |out, i| {
+            write_value(out, &items[i], indent, level + 1);
+        }),
+        JsonValue::Object(pairs) => write_seq(out, pairs.len(), indent, level, b'{', |out, i| {
+            let (key, value) = &pairs[i];
+            write_string(out, key);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, value, indent, level + 1);
+        }),
+    }
+}
+
+/// Shared array/object layout: `open … close` with per-item callbacks,
+/// handling commas and (optionally) newline + indentation.
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    open: u8,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    let close = if open == b'[' { ']' } else { '}' };
+    out.push(open as char);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; emit null rather than an invalid doc.
+        out.push_str("null");
+        return;
+    }
+    let text = x.to_string();
+    out.push_str(&text);
+    // Keep the float/integer distinction on round trips: `2.0` formats as
+    // "2" in Rust, which would re-parse as an integer.
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        JsonValue::object([
+            ("name", "qft \"5\"\n".into()),
+            ("n", 5u64.into()),
+            ("w", JsonValue::Float(0.5)),
+            ("flags", JsonValue::array([true.into(), JsonValue::Null])),
+            ("empty", JsonValue::object::<&str, _>([])),
+        ])
+    }
+
+    #[test]
+    fn compact_round_trips_through_parse() {
+        let v = sample();
+        assert_eq!(JsonValue::parse(&v.to_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_round_trips_and_indents() {
+        let v = sample();
+        let text = v.to_pretty();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        assert!(text.contains("{\n  \"name\""));
+        assert!(text.ends_with("\n"));
+        assert!(text.contains("\"empty\": {}"));
+    }
+
+    #[test]
+    fn floats_keep_their_type_on_round_trip() {
+        let v = JsonValue::Float(2.0);
+        assert_eq!(v.to_compact(), "2.0");
+        assert_eq!(JsonValue::parse("2.0").unwrap(), v);
+        assert_eq!(JsonValue::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        let v: JsonValue = "a\u{1}\tb".into();
+        assert_eq!(v.to_compact(), "\"a\\u0001\\tb\"");
+        assert_eq!(JsonValue::parse(&v.to_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn big_nanosecond_counters_survive() {
+        let ns: u128 = 30_517_249_000_000;
+        let v = JsonValue::from(ns);
+        assert_eq!(
+            JsonValue::parse(&v.to_compact()).unwrap().as_i128(),
+            Some(ns as i128)
+        );
+    }
+}

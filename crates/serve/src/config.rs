@@ -1,0 +1,108 @@
+use sabre::SabreConfig;
+
+/// Tunable knobs of the routing service. Start from
+/// `ServeConfig::default()` and override; [`crate::start`] validates.
+///
+/// # Example
+///
+/// ```
+/// use sabre_serve::ServeConfig;
+///
+/// let config = ServeConfig {
+///     addr: "127.0.0.1:0".into(), // ephemeral port
+///     workers: 2,
+///     queue_capacity: 8,
+///     ..ServeConfig::default()
+/// };
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`). Port `0` binds an ephemeral port;
+    /// read the actual one from [`crate::ServerHandle::addr`].
+    pub addr: String,
+    /// Routing worker threads draining the job queue. `0` is accepted and
+    /// freezes the pool — queued jobs are only ever completed (failed) by
+    /// [`crate::ServerHandle::shutdown`] — which makes backpressure
+    /// deterministic to test.
+    pub workers: usize,
+    /// Bounded job-queue capacity. When the queue is full, `POST /route`
+    /// and `POST /transpile_batch` are rejected with `503` and a
+    /// `Retry-After` header instead of queueing without bound.
+    pub queue_capacity: usize,
+    /// Seconds advertised in the `Retry-After` header of a `503`.
+    pub retry_after_secs: u32,
+    /// Maximum accepted request-body size; larger bodies get `413`.
+    pub max_body_bytes: usize,
+    /// Baseline [`SabreConfig`] for every request; per-request `"config"`
+    /// overrides are applied on top of this.
+    pub default_config: SabreConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 128,
+            retry_after_secs: 1,
+            max_body_bytes: 4 << 20,
+            default_config: SabreConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates parameter ranges (including the embedded
+    /// [`SabreConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be ≥ 1".into());
+        }
+        if self.max_body_bytes == 0 {
+            return Err("max_body_bytes must be ≥ 1".into());
+        }
+        self.default_config
+            .validate()
+            .map_err(|reason| format!("default_config: {reason}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServeConfig::default().validate().is_ok());
+        assert!(ServeConfig::default().workers >= 1);
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let c = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("queue_capacity"));
+    }
+
+    #[test]
+    fn invalid_sabre_config_rejected() {
+        let c = ServeConfig {
+            default_config: SabreConfig {
+                num_restarts: 0,
+                ..SabreConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("default_config"));
+    }
+}

@@ -1,0 +1,458 @@
+//! Hand-rolled HTTP/1.1, scoped to exactly what the service needs: parse
+//! one request (request line, headers, `Content-Length` body) and write
+//! one response, then close the connection.
+//!
+//! No crates.io in this environment, so this replaces `hyper`/`axum`.
+//! Deliberate non-features: chunked transfer encoding (rejected with
+//! `411`), keep-alive (every response carries `Connection: close`),
+//! HTTP/2. `Expect: 100-continue` *is* honored because `curl` sends it
+//! for bodies above its threshold.
+
+use std::io::{self, Read, Write};
+
+use sabre_json::JsonValue;
+
+/// Header-section size cap — far above any legitimate client.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target, query string stripped.
+    pub path: String,
+    /// Headers in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::BadRequest`] if the body is not valid UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadRequest("request body is not valid UTF-8".into()))
+    }
+
+    /// `/`-separated path segments, empty segments dropped
+    /// (`"/devices/x/noise"` → `["devices", "x", "noise"]`).
+    pub fn path_segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Why reading a request failed; [`HttpError::response`] maps each case to
+/// the status the client should see.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, headers, or body.
+    BadRequest(String),
+    /// Body larger than the configured cap.
+    PayloadTooLarge {
+        /// The configured cap, echoed in the error body.
+        limit: usize,
+    },
+    /// `Transfer-Encoding` without a `Content-Length` — unsupported.
+    LengthRequired,
+    /// The connection died mid-request (includes a clean EOF before any
+    /// bytes: the peer connected and said nothing).
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The error as an HTTP response, or `None` when the peer is gone and
+    /// writing one is pointless.
+    pub fn response(&self) -> Option<Response> {
+        match self {
+            HttpError::BadRequest(msg) => Some(Response::error(400, msg)),
+            HttpError::PayloadTooLarge { limit } => Some(Response::error(
+                413,
+                &format!("request body exceeds the {limit}-byte limit"),
+            )),
+            HttpError::LengthRequired => Some(Response::error(
+                411,
+                "chunked bodies are not supported; send Content-Length",
+            )),
+            HttpError::Io(_) => None,
+        }
+    }
+}
+
+/// Reads one complete request from `stream`.
+///
+/// Honors `Expect: 100-continue` (hence the `Write` bound). The body is
+/// rejected before it is read when `Content-Length` exceeds `max_body`.
+///
+/// # Errors
+///
+/// [`HttpError`] describing the malformation or I/O failure.
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let (head, mut leftover) = read_head(stream)?;
+    let head_text = std::str::from_utf8(&head)
+        .map_err(|_| HttpError::BadRequest("header section is not valid UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request_head = Request {
+        method: method.to_ascii_uppercase(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request_head
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::LengthRequired);
+    }
+    let content_length = match request_head.header("content-length") {
+        Some(text) => text
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad Content-Length `{text}`")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge { limit: max_body });
+    }
+
+    if request_head
+        .header("expect")
+        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+    {
+        stream
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(HttpError::Io)?;
+    }
+
+    let mut body = leftover.split_off(0);
+    // A pipelined client may legally have sent its next request already;
+    // everything past Content-Length belongs to it. The connection closes
+    // after this response, so the excess is simply discarded.
+    body.truncate(content_length);
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        body,
+        ..request_head
+    })
+}
+
+/// Reads up to and including the `\r\n\r\n` header terminator; returns the
+/// head (without the terminator) and any body bytes already pulled from
+/// the socket.
+fn read_head<S: Read>(stream: &mut S) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(end) = find_terminator(&buf) {
+            let rest = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, rest));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest(
+                "header section exceeds 16 KiB".into(),
+            ));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the header terminator",
+            )));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response, written with `Connection: close` and `Content-Length`.
+#[derive(Clone, Debug)]
+pub struct Response {
+    status: u16,
+    content_type: &'static str,
+    extra_headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &JsonValue) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.to_compact().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (`/metrics`).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard error shape: `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &JsonValue::object([("error", message.into())]))
+    }
+
+    /// Adds a header (e.g. `Retry-After` on a `503`).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The body bytes (tests inspect these).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Serializes the response onto `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrases for the statuses the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Read half feeds scripted input; write half records interim bytes.
+    struct Duplex {
+        input: io::Cursor<Vec<u8>>,
+        written: Vec<u8>,
+    }
+
+    impl Duplex {
+        fn new(input: &[u8]) -> Self {
+            Duplex {
+                input: io::Cursor::new(input.to_vec()),
+                written: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /route?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut Duplex::new(raw), 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/route");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.header("HOST"), Some("h"));
+        assert_eq!(req.body, b"body");
+        assert_eq!(req.path_segments(), ["route"]);
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Duplex::new(raw), 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn honors_expect_100_continue() {
+        let raw = b"POST /route HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nok";
+        let mut duplex = Duplex::new(raw);
+        let req = read_request(&mut duplex, 1024).unwrap();
+        assert_eq!(req.body, b"ok");
+        assert_eq!(duplex.written, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let raw = b"POST /route HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        match read_request(&mut Duplex::new(raw), 10) {
+            Err(HttpError::PayloadTooLarge { limit: 10 }) => {}
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_chunked_bodies() {
+        let raw = b"POST /route HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Duplex::new(raw), 1024),
+            Err(HttpError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+        ] {
+            assert!(
+                matches!(
+                    read_request(&mut Duplex::new(raw), 1024),
+                    Err(HttpError::BadRequest(_))
+                ),
+                "should reject {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_followup_request_is_discarded() {
+        // HTTP/1.1 permits pipelining; the server answers the first
+        // request and closes, so the buffered second request is dropped.
+        let raw =
+            b"POST /route HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Duplex::new(raw), 1024).unwrap();
+        assert_eq!(req.path, "/route");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let raw = b"POST /route HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut Duplex::new(raw), 1024).is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let resp = Response::json(503, &JsonValue::object([("error", "busy".into())]))
+            .with_header("Retry-After", "1");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"busy\"}"));
+        let body_len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(body_len, resp.body().len());
+    }
+}

@@ -1,0 +1,61 @@
+//! # sabre-serve — the SABRE router as a long-running service
+//!
+//! The paper's pass is a library call; the ROADMAP's north star is a
+//! production system serving heavy traffic. PR 2's [`sabre::DeviceCache`]
+//! made the per-device preprocessing shareable and PR 3's incremental
+//! engine made the per-step cost cheap — this crate is the missing layer
+//! that amortizes both across requests: a long-running process with
+//! request queueing, explicit backpressure, per-request configuration,
+//! and live calibration refresh.
+//!
+//! Everything is built on `std` (hand-rolled HTTP/1.1 over
+//! `TcpListener`, hand-rolled JSON via [`sabre_json`]) because the build
+//! environment has no crates.io access.
+//!
+//! # Endpoints
+//!
+//! | method & path | body | effect |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness + queue depth |
+//! | `GET /metrics` | — | Prometheus text (per-step routing ns, queue, cache) |
+//! | `GET /devices` | — | registered devices |
+//! | `POST /devices` | `{"id", "builtin"}` or `{"id", "num_qubits", "edges"}` | register + warm the cache |
+//! | `POST /devices/{id}/noise` | noise spec | live calibration refresh (no restart) |
+//! | `POST /route` | `{"device", "circuit", "config"?}` | route one circuit |
+//! | `POST /transpile_batch` | `{"device", "circuits", …}` | full pipeline, partial-success |
+//!
+//! Admission control: jobs enter a bounded FIFO ([`queue::BoundedQueue`]);
+//! when it is full the request is answered `503` with a `Retry-After`
+//! header instead of queueing without bound. [`ServerHandle::shutdown`]
+//! drains admitted jobs before the process exits.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sabre_serve::{start, ServeConfig};
+//!
+//! let handle = start(ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServeConfig::default()
+//! })?;
+//! println!("listening on {}", handle.addr());
+//! // … serve until asked to stop …
+//! handle.shutdown(); // drains in-flight jobs
+//! # Ok::<(), sabre_serve::ServeError>(())
+//! ```
+//!
+//! (`examples/serve_client.rs` in the workspace root round-trips a real
+//! circuit through a loopback server.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+mod config;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+mod service;
+
+pub use config::ServeConfig;
+pub use service::{start, ServeError, ServerHandle};

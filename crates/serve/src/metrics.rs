@@ -1,0 +1,323 @@
+//! Service counters and their Prometheus text rendering (`GET /metrics`).
+//!
+//! Everything is a relaxed atomic — counters tolerate torn reads across
+//! scrapes; they only ever need to be monotone. The per-step routing
+//! nanoseconds close PR 3's follow-on ("per-step ns into the service
+//! layer's admission metrics"): `routing_ns_total / routing_steps_total`
+//! is the fleet-wide mean cost of one SWAP-search step, and
+//! `last_route_ns_per_step` the most recent request's — the two numbers an
+//! admission controller needs to translate queue depth into expected
+//! wait.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sabre::DeviceCacheStats;
+
+/// Monotone counters; gauges (queue depth, device count) are read from
+/// their owners at scrape time and passed to [`Metrics::render`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `POST /route` requests admitted or rejected.
+    pub requests_route: AtomicU64,
+    /// `POST /transpile_batch` requests admitted or rejected.
+    pub requests_batch: AtomicU64,
+    /// `POST /devices` registrations.
+    pub requests_devices: AtomicU64,
+    /// `POST /devices/{id}/noise` refreshes.
+    pub requests_noise: AtomicU64,
+    /// `GET /healthz` probes.
+    pub requests_healthz: AtomicU64,
+    /// `GET /metrics` scrapes.
+    pub requests_metrics: AtomicU64,
+    /// Admissions bounced with `503` because the queue was full.
+    pub queue_rejections: AtomicU64,
+    /// Jobs accepted into the queue (completed + failed + still pending).
+    pub jobs_admitted: AtomicU64,
+    /// Jobs that finished with a 2xx response.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that finished with an error response.
+    pub jobs_failed: AtomicU64,
+    /// Circuits routed successfully (batch slots count individually).
+    pub circuits_routed: AtomicU64,
+    /// Wall nanoseconds spent inside `route()` calls.
+    pub routing_ns_total: AtomicU64,
+    /// Search steps executed by those calls (all traversals).
+    pub routing_steps_total: AtomicU64,
+    /// `ns_per_step` of the most recent `/route` job.
+    pub last_route_ns_per_step: AtomicU64,
+    /// Nanoseconds jobs spent queued between admission and pickup.
+    pub queue_wait_ns_total: AtomicU64,
+}
+
+/// Point-in-time gauges owned by the service, sampled per scrape.
+#[derive(Clone, Copy, Debug)]
+pub struct GaugeSnapshot {
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Registered devices.
+    pub devices: usize,
+    /// Whether shutdown has begun.
+    pub draining: bool,
+}
+
+/// One `HELP`/`TYPE`/sample triple.
+fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP sabre_serve_{name} {help}");
+    let _ = writeln!(out, "# TYPE sabre_serve_{name} {kind}");
+    let _ = writeln!(out, "sabre_serve_{name} {value}");
+}
+
+impl Metrics {
+    /// Bumps a counter (relaxed; these are statistics, not synchronization).
+    pub fn add(counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Records one successful routing call in the admission telemetry.
+    pub fn record_routing(&self, elapsed_ns: u128, steps: usize, ns_per_step: u128) {
+        Metrics::add(
+            &self.routing_ns_total,
+            elapsed_ns.min(u128::from(u64::MAX)) as u64,
+        );
+        Metrics::add(&self.routing_steps_total, steps as u64);
+        self.last_route_ns_per_step.store(
+            ns_per_step.min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Renders the Prometheus exposition text.
+    pub fn render(&self, gauges: GaugeSnapshot, cache: DeviceCacheStats) -> String {
+        let mut out = String::new();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+
+        metric(
+            &mut out,
+            "queue_depth",
+            "gauge",
+            "Jobs waiting in the admission queue.",
+            gauges.queue_depth as u64,
+        );
+        metric(
+            &mut out,
+            "queue_capacity",
+            "gauge",
+            "Admission queue capacity.",
+            gauges.queue_capacity as u64,
+        );
+        metric(
+            &mut out,
+            "workers",
+            "gauge",
+            "Routing worker threads.",
+            gauges.workers as u64,
+        );
+        metric(
+            &mut out,
+            "devices_registered",
+            "gauge",
+            "Devices currently registered.",
+            gauges.devices as u64,
+        );
+        metric(
+            &mut out,
+            "draining",
+            "gauge",
+            "1 once shutdown has begun.",
+            u64::from(gauges.draining),
+        );
+
+        // The labeled request family shares one HELP/TYPE block.
+        let _ = writeln!(
+            out,
+            "# HELP sabre_serve_requests_total HTTP requests by endpoint."
+        );
+        let _ = writeln!(out, "# TYPE sabre_serve_requests_total counter");
+        for (endpoint, counter) in [
+            ("route", &self.requests_route),
+            ("transpile_batch", &self.requests_batch),
+            ("devices", &self.requests_devices),
+            ("noise", &self.requests_noise),
+            ("healthz", &self.requests_healthz),
+            ("metrics", &self.requests_metrics),
+        ] {
+            let _ = writeln!(
+                out,
+                "sabre_serve_requests_total{{endpoint=\"{endpoint}\"}} {}",
+                load(counter)
+            );
+        }
+
+        metric(
+            &mut out,
+            "queue_rejections_total",
+            "counter",
+            "Admissions rejected with 503 (queue full).",
+            load(&self.queue_rejections),
+        );
+        metric(
+            &mut out,
+            "jobs_admitted_total",
+            "counter",
+            "Jobs accepted into the queue.",
+            load(&self.jobs_admitted),
+        );
+        metric(
+            &mut out,
+            "jobs_completed_total",
+            "counter",
+            "Jobs that produced a 2xx response.",
+            load(&self.jobs_completed),
+        );
+        metric(
+            &mut out,
+            "jobs_failed_total",
+            "counter",
+            "Jobs that produced an error response.",
+            load(&self.jobs_failed),
+        );
+        metric(
+            &mut out,
+            "circuits_routed_total",
+            "counter",
+            "Circuits routed successfully (batch slots counted individually).",
+            load(&self.circuits_routed),
+        );
+        metric(
+            &mut out,
+            "routing_ns_total",
+            "counter",
+            "Wall nanoseconds spent routing.",
+            load(&self.routing_ns_total),
+        );
+        metric(
+            &mut out,
+            "routing_steps_total",
+            "counter",
+            "Search steps executed (all traversals of all restarts).",
+            load(&self.routing_steps_total),
+        );
+        let steps = load(&self.routing_steps_total);
+        metric(
+            &mut out,
+            "avg_route_ns_per_step",
+            "gauge",
+            "Mean ns per search step over the process lifetime.",
+            load(&self.routing_ns_total).checked_div(steps).unwrap_or(0),
+        );
+        metric(
+            &mut out,
+            "last_route_ns_per_step",
+            "gauge",
+            "ns per search step of the most recent /route job.",
+            load(&self.last_route_ns_per_step),
+        );
+        metric(
+            &mut out,
+            "queue_wait_ns_total",
+            "counter",
+            "Nanoseconds jobs spent waiting in the queue.",
+            load(&self.queue_wait_ns_total),
+        );
+
+        metric(
+            &mut out,
+            "cache_graph_hits_total",
+            "counter",
+            "DeviceCache router acquisitions served warm.",
+            cache.graph_hits,
+        );
+        metric(
+            &mut out,
+            "cache_graph_misses_total",
+            "counter",
+            "DeviceCache acquisitions that ran full preprocessing.",
+            cache.graph_misses,
+        );
+        metric(
+            &mut out,
+            "cache_noise_hits_total",
+            "counter",
+            "Noise-weighted matrices served warm.",
+            cache.noise_hits,
+        );
+        metric(
+            &mut out,
+            "cache_noise_misses_total",
+            "counter",
+            "Noise-weighted matrices computed.",
+            cache.noise_misses,
+        );
+        metric(
+            &mut out,
+            "cache_embedding_hits_total",
+            "counter",
+            "Perfect-placement probe verdicts served warm.",
+            cache.embedding_hits,
+        );
+        metric(
+            &mut out,
+            "cache_embedding_misses_total",
+            "counter",
+            "Probe verdicts computed by backtracking.",
+            cache.embedding_misses,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_gauges_counters_and_derived_values() {
+        let m = Metrics::default();
+        Metrics::add(&m.requests_route, 3);
+        Metrics::add(&m.queue_rejections, 1);
+        m.record_routing(1000, 10, 100);
+        m.record_routing(3000, 10, 300);
+        let text = m.render(
+            GaugeSnapshot {
+                queue_depth: 2,
+                queue_capacity: 8,
+                workers: 4,
+                devices: 1,
+                draining: false,
+            },
+            DeviceCacheStats::default(),
+        );
+        assert!(text.contains("sabre_serve_queue_depth 2"));
+        assert!(text.contains("sabre_serve_queue_capacity 8"));
+        assert!(text.contains("sabre_serve_requests_total{endpoint=\"route\"} 3"));
+        assert!(text.contains("sabre_serve_queue_rejections_total 1"));
+        assert!(text.contains("sabre_serve_routing_ns_total 4000"));
+        assert!(text.contains("sabre_serve_routing_steps_total 20"));
+        assert!(text.contains("sabre_serve_avg_route_ns_per_step 200"));
+        assert!(text.contains("sabre_serve_last_route_ns_per_step 300"));
+        assert!(text.contains("# TYPE sabre_serve_queue_depth gauge"));
+        assert!(text.contains("# TYPE sabre_serve_requests_total counter"));
+    }
+
+    #[test]
+    fn zero_steps_renders_zero_average() {
+        let m = Metrics::default();
+        let text = m.render(
+            GaugeSnapshot {
+                queue_depth: 0,
+                queue_capacity: 1,
+                workers: 0,
+                devices: 0,
+                draining: true,
+            },
+            DeviceCacheStats::default(),
+        );
+        assert!(text.contains("sabre_serve_avg_route_ns_per_step 0"));
+        assert!(text.contains("sabre_serve_draining 1"));
+    }
+}

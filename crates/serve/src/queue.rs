@@ -1,0 +1,271 @@
+//! Bounded MPMC job queue with explicit backpressure and drain-aware
+//! close.
+//!
+//! The admission path calls [`BoundedQueue::try_push`] — it **never
+//! blocks**; a full queue is an immediate [`PushError::Full`] the HTTP
+//! layer turns into `503 + Retry-After`. Worker threads block in
+//! [`BoundedQueue::pop`]. Closing distinguishes the two shutdown modes:
+//! [`BoundedQueue::close`] lets workers drain what was admitted (graceful
+//! shutdown), [`BoundedQueue::close_now`] hands the pending items back so
+//! the caller can fail them (abort).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] rejected an item; the item is handed
+/// back so the caller can respond about it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the backpressure signal.
+    Full(T),
+    /// The queue was closed; the service is shutting down.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared by admission (producers) and the worker
+/// pool (consumers). All methods take `&self`; share via `Arc` or a
+/// surrounding service struct.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (admission could never succeed).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be ≥ 1");
+        BoundedQueue {
+            capacity,
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push. Returns the queue depth after insertion.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close)/[`close_now`](Self::close_now) — both return
+    /// the rejected item.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(inner.items.len())
+    }
+
+    /// Blocking pop in FIFO order. Returns `None` once the queue is closed
+    /// **and** drained — the worker-thread exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes for new pushes; already-admitted items stay poppable
+    /// (graceful-shutdown drain). Wakes every blocked consumer.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Closes **and** empties the queue, returning the pending items so
+    /// the caller can fail them (abort shutdown). Wakes every blocked
+    /// consumer.
+    pub fn close_now(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        let pending = inner.items.drain(..).collect();
+        self.not_empty.notify_all();
+        pending
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn rejects_when_full_and_accepts_after_pop() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn single_consumer_preserves_fifo_order() {
+        let q = Arc::new(BoundedQueue::new(128));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = q.pop() {
+                    seen.push(item);
+                }
+                seen
+            })
+        };
+        for i in 0..100 {
+            // The single consumer may lag; retry rather than drop.
+            let mut item = i;
+            loop {
+                match q.try_push(item) {
+                    Ok(_) => break,
+                    Err(PushError::Full(back)) => {
+                        item = back;
+                        thread::yield_now();
+                    }
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_drains_admitted_items() {
+        let q = Arc::new(BoundedQueue::new(8));
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        // Pushes now fail closed...
+        assert!(matches!(q.try_push(99), Err(PushError::Closed(99))));
+        // ...but every admitted item is still delivered, then None.
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_now_hands_back_pending_items() {
+        let q = BoundedQueue::new(8);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.close_now(), vec![0, 1, 2]);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u8>::new(1));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the consumers a moment to block, then close.
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_everything_once() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(item) = q.pop() {
+                        seen.push(item);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(_) => break,
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => unreachable!(),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

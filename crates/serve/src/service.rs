@@ -1,0 +1,826 @@
+//! The long-running routing service: device registry, bounded job queue,
+//! worker pool, HTTP dispatch, and graceful shutdown.
+//!
+//! # Architecture
+//!
+//! ```text
+//!          accept thread             worker pool (config.workers)
+//!   TcpListener ──► conn thread ──► BoundedQueue ──► route()/transpile_batch_cached()
+//!                   (parse+admit)    (backpressure)        │
+//!                        ▲                                 │ fills
+//!                        └───────── JobSlot ◄──────────────┘
+//!                     (blocks until the worker responds)
+//! ```
+//!
+//! Connection threads do the cheap work — HTTP parsing, JSON validation,
+//! device lookup — and **admit** a job; a full queue is an immediate
+//! `503 + Retry-After` (no unbounded buffering, the ROADMAP's
+//! backpressure requirement). Worker threads do the expensive work
+//! against a process-wide [`DeviceCache`], so every request shares the
+//! same preprocessed matrices and embedding verdicts, and a
+//! `POST /devices/{id}/noise` refresh recomputes only the noise-weighted
+//! matrix — subsequent requests route with the new calibration without a
+//! restart.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sabre::{transpile_batch_cached, DeviceCache, SabreConfig, TranspileOptions};
+use sabre_circuit::Circuit;
+use sabre_json::JsonValue;
+use sabre_topology::noise::NoiseModel;
+use sabre_topology::CouplingGraph;
+
+use crate::api::{self, ApiError};
+use crate::http::{self, Request, Response};
+use crate::metrics::{GaugeSnapshot, Metrics};
+use crate::queue::{BoundedQueue, PushError};
+use crate::ServeConfig;
+
+/// How long shutdown waits for in-flight connection threads to finish
+/// writing their responses.
+const CONNECTION_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+/// Per-connection socket read timeout (slow-client guard).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why [`crate::start`] failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The [`ServeConfig`] was invalid.
+    Config(String),
+    /// Binding the listener failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(reason) => write!(f, "invalid serve config: {reason}"),
+            ServeError::Io(e) => write!(f, "cannot start server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A registered device: its coupling graph plus the currently active
+/// calibration (noise model), if any.
+struct RegisteredDevice {
+    graph: Arc<CouplingGraph>,
+    noise: Option<NoiseModel>,
+}
+
+/// One admitted unit of work.
+struct Job {
+    kind: JobKind,
+    slot: Arc<JobSlot>,
+    admitted: Instant,
+}
+
+enum JobKind {
+    Route {
+        device_id: String,
+        graph: Arc<CouplingGraph>,
+        noise: Option<NoiseModel>,
+        circuit: Circuit,
+        config: SabreConfig,
+        include_physical: bool,
+    },
+    Batch {
+        device_id: String,
+        graph: Arc<CouplingGraph>,
+        circuits: Vec<Circuit>,
+        options: TranspileOptions,
+        include_physical: bool,
+    },
+}
+
+/// The rendezvous between the admitting connection thread and the worker
+/// that executes the job.
+struct JobSlot {
+    response: Mutex<Option<Response>>,
+    done: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> Self {
+        JobSlot {
+            response: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, response: Response) {
+        *self.response.lock().expect("job slot poisoned") = Some(response);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut slot = self.response.lock().expect("job slot poisoned");
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            slot = self.done.wait(slot).expect("job slot poisoned");
+        }
+    }
+}
+
+/// Counts live connection-handler threads so shutdown can wait for
+/// responses in flight.
+#[derive(Default)]
+struct ConnTracker {
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl ConnTracker {
+    fn enter(&self) {
+        *self.active.lock().expect("conn tracker poisoned") += 1;
+    }
+
+    fn exit(&self) {
+        let mut active = self.active.lock().expect("conn tracker poisoned");
+        *active -= 1;
+        if *active == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut active = self.active.lock().expect("conn tracker poisoned");
+        while *active > 0 {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            let (guard, _) = self
+                .idle
+                .wait_timeout(active, remaining)
+                .expect("conn tracker poisoned");
+            active = guard;
+        }
+    }
+}
+
+/// Shared state of one server instance.
+struct RoutingService {
+    config: ServeConfig,
+    cache: DeviceCache,
+    devices: RwLock<HashMap<String, RegisteredDevice>>,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    connections: ConnTracker,
+    draining: AtomicBool,
+}
+
+impl RoutingService {
+    fn new(config: ServeConfig) -> Self {
+        let queue = BoundedQueue::new(config.queue_capacity);
+        RoutingService {
+            config,
+            cache: DeviceCache::new(),
+            devices: RwLock::new(HashMap::new()),
+            queue,
+            metrics: Metrics::default(),
+            connections: ConnTracker::default(),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    fn gauges(&self) -> GaugeSnapshot {
+        GaugeSnapshot {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.config.workers,
+            devices: self.devices.read().expect("device registry poisoned").len(),
+            draining: self.draining.load(Ordering::Relaxed),
+        }
+    }
+
+    fn device(&self, id: &str) -> Result<(Arc<CouplingGraph>, Option<NoiseModel>), ApiError> {
+        let devices = self.devices.read().expect("device registry poisoned");
+        let device = devices.get(id).ok_or_else(|| {
+            ApiError::not_found(format!(
+                "unknown device `{id}` (register via POST /devices)"
+            ))
+        })?;
+        Ok((device.graph.clone(), device.noise.clone()))
+    }
+}
+
+/// A running server. Dropping the handle aborts the server
+/// ([`ServerHandle::shutdown_now`] semantics); call
+/// [`ServerHandle::shutdown`] for a graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<RoutingService>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (read this when `addr` used port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let the workers **drain every
+    /// admitted job** (their clients get real responses), then wait for
+    /// in-flight connections. Jobs still queued when no worker exists
+    /// (frozen pool) are failed with `503`.
+    pub fn shutdown(mut self) {
+        self.stop(false);
+    }
+
+    /// Abort: stop accepting and fail every queued job with `503`;
+    /// workers finish only the job they already started.
+    pub fn shutdown_now(mut self) {
+        self.stop(true);
+    }
+
+    /// Registers a device without going through HTTP — what the
+    /// `sabre-serve` binary's `--preload` uses at boot. Same semantics as
+    /// `POST /devices`: validates connectivity and warms the cache.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason (invalid id, disconnected graph).
+    pub fn register_device(&self, id: &str, graph: &CouplingGraph) -> Result<(), String> {
+        if id.is_empty() || id.contains('/') || id.len() > 128 {
+            return Err("device id must be non-empty, without `/`, ≤128 chars".into());
+        }
+        self.service
+            .cache
+            .router(graph, self.service.config.default_config)
+            .map_err(|e| e.to_string())?;
+        self.service
+            .devices
+            .write()
+            .expect("device registry poisoned")
+            .insert(
+                id.to_string(),
+                RegisteredDevice {
+                    graph: Arc::new(graph.clone()),
+                    noise: None,
+                },
+            );
+        Ok(())
+    }
+
+    fn stop(&mut self, abort: bool) {
+        self.service.draining.store(true, Ordering::Release);
+        // Wake the blocking `accept` with a loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        if abort {
+            for job in self.service.queue.close_now() {
+                job.slot
+                    .fill(unavailable(&self.service, "service is shutting down"));
+            }
+        } else {
+            self.service.queue.close();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // With a frozen pool (workers == 0) a graceful close drains
+        // nothing; fail whatever is left so no client hangs.
+        for job in self.service.queue.close_now() {
+            job.slot
+                .fill(unavailable(&self.service, "service is shutting down"));
+        }
+        self.service.connections.wait_idle(CONNECTION_DRAIN_TIMEOUT);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop(true);
+    }
+}
+
+/// Starts a server for `config` and returns its handle. The listener, the
+/// worker pool, and the device cache live until shutdown.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] for invalid knobs, [`ServeError::Io`] when the
+/// address cannot be bound.
+pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    config.validate().map_err(ServeError::Config)?;
+    let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
+    let addr = listener.local_addr().map_err(ServeError::Io)?;
+    let service = Arc::new(RoutingService::new(config));
+
+    let workers = (0..service.config.workers)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            thread::Builder::new()
+                .name(format!("sabre-serve-worker-{i}"))
+                .spawn(move || worker_loop(&service))
+                .expect("spawning a worker thread")
+        })
+        .collect();
+    let accept_thread = {
+        let service = Arc::clone(&service);
+        thread::Builder::new()
+            .name("sabre-serve-accept".into())
+            .spawn(move || accept_loop(listener, &service))
+            .expect("spawning the accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, service: &Arc<RoutingService>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if service.draining.load(Ordering::Acquire) {
+                    // The shutdown wake-up (or a client racing it): close
+                    // without a response and stop accepting.
+                    break;
+                }
+                service.connections.enter();
+                let conn_service = Arc::clone(service);
+                let spawned = thread::Builder::new()
+                    .name("sabre-serve-conn".into())
+                    .spawn(move || {
+                        handle_connection(&conn_service, stream);
+                        conn_service.connections.exit();
+                    });
+                if let Err(e) = spawned {
+                    // Thread exhaustion: nothing handled the connection.
+                    service.connections.exit();
+                    eprintln!("sabre-serve: cannot spawn connection thread: {e}");
+                }
+            }
+            Err(_) => {
+                if service.draining.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(service: &Arc<RoutingService>, mut stream: TcpStream) {
+    use std::io::Read as _;
+
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    match http::read_request(&mut stream, service.config.max_body_bytes) {
+        Ok(request) => {
+            let response = dispatch(service, &request);
+            let _ = response.write_to(&mut stream);
+        }
+        Err(error) => {
+            let Some(response) = error.response() else {
+                return; // peer vanished; nothing to write
+            };
+            let _ = response.write_to(&mut stream);
+            // The request was rejected before its body was consumed (e.g.
+            // 413). Closing now would RST the connection and destroy the
+            // response before the client reads it — drain what the client
+            // is still sending. Both a wall-clock deadline and a byte cap
+            // bound the drain (the per-read timeout alone would let a
+            // slow-drip client pin this thread forever).
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let deadline = Instant::now() + Duration::from_secs(2);
+            let mut drained = 0usize;
+            let mut sink = [0u8; 4096];
+            while drained < 1 << 20 && Instant::now() < deadline {
+                match stream.read(&mut sink) {
+                    Ok(n) if n > 0 => drained += n,
+                    _ => break,
+                }
+            }
+        }
+    }
+}
+
+fn dispatch(service: &Arc<RoutingService>, request: &Request) -> Response {
+    let segments = request.path_segments();
+    let m = &service.metrics;
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            Metrics::add(&m.requests_healthz, 1);
+            healthz(service)
+        }
+        ("GET", ["metrics"]) => {
+            Metrics::add(&m.requests_metrics, 1);
+            Response::text(200, m.render(service.gauges(), service.cache.stats()))
+        }
+        ("GET", ["devices"]) => list_devices(service),
+        ("POST", ["devices"]) => {
+            Metrics::add(&m.requests_devices, 1);
+            register_device(service, request)
+        }
+        ("POST", ["devices", id, "noise"]) => {
+            Metrics::add(&m.requests_noise, 1);
+            refresh_noise(service, id, request)
+        }
+        ("POST", ["route"]) => {
+            Metrics::add(&m.requests_route, 1);
+            admit_route(service, request)
+        }
+        ("POST", ["transpile_batch"]) => {
+            Metrics::add(&m.requests_batch, 1);
+            admit_batch(service, request)
+        }
+        (_, ["healthz" | "metrics" | "route" | "transpile_batch" | "devices"])
+        | (_, ["devices", _, "noise"]) => Response::error(405, "method not allowed on this path"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+fn healthz(service: &RoutingService) -> Response {
+    let draining = service.draining.load(Ordering::Relaxed);
+    Response::json(
+        200,
+        &JsonValue::object([
+            ("status", if draining { "draining" } else { "ok" }.into()),
+            ("queue_depth", service.queue.len().into()),
+            ("queue_capacity", service.queue.capacity().into()),
+            ("workers", service.config.workers.into()),
+            (
+                "devices",
+                service
+                    .devices
+                    .read()
+                    .expect("device registry poisoned")
+                    .len()
+                    .into(),
+            ),
+        ]),
+    )
+}
+
+fn list_devices(service: &RoutingService) -> Response {
+    let devices = service.devices.read().expect("device registry poisoned");
+    let mut entries: Vec<(&String, &RegisteredDevice)> = devices.iter().collect();
+    entries.sort_by_key(|(id, _)| id.as_str());
+    Response::json(
+        200,
+        &JsonValue::object([(
+            "devices",
+            entries
+                .into_iter()
+                .map(|(id, device)| {
+                    JsonValue::object([
+                        ("id", id.as_str().into()),
+                        ("num_qubits", device.graph.num_qubits().into()),
+                        ("num_edges", device.graph.num_edges().into()),
+                        ("noise_aware", device.noise.is_some().into()),
+                    ])
+                })
+                .collect(),
+        )]),
+    )
+}
+
+fn register_device(service: &RoutingService, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let (id, graph) = match api::parse_device_registration(&body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    // Warm the cache now: this both validates the graph (connectivity) and
+    // moves the O(N³) preprocessing out of the first request's latency.
+    if let Err(e) = service.cache.router(&graph, service.config.default_config) {
+        return Response::error(400, &format!("device rejected: {e}"));
+    }
+    let entry = RegisteredDevice {
+        graph: Arc::new(graph),
+        noise: None,
+    };
+    let body = JsonValue::object([
+        ("id", id.as_str().into()),
+        ("num_qubits", entry.graph.num_qubits().into()),
+        ("num_edges", entry.graph.num_edges().into()),
+    ]);
+    let replaced = service
+        .devices
+        .write()
+        .expect("device registry poisoned")
+        .insert(id, entry)
+        .is_some();
+    Response::json(if replaced { 200 } else { 201 }, &body)
+}
+
+fn refresh_noise(service: &RoutingService, id: &str, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let (graph, _) = match service.device(id) {
+        Ok(device) => device,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    if body.get("clear").and_then(JsonValue::as_bool) == Some(true) {
+        if let Some(device) = service
+            .devices
+            .write()
+            .expect("device registry poisoned")
+            .get_mut(id)
+        {
+            device.noise = None;
+        }
+        return Response::json(
+            200,
+            &JsonValue::object([("id", id.into()), ("cleared", true.into())]),
+        );
+    }
+    let noise = match api::parse_noise_spec(&body, &graph) {
+        Ok(noise) => noise,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    // Recompute the weighted matrix once, now — every subsequent request
+    // acquires it warm. This is the live-calibration path: no restart.
+    if let Err(e) = service.cache.refresh_noise(&graph, &noise) {
+        return Response::error(400, &format!("calibration rejected: {e}"));
+    }
+    let fingerprint = noise.fingerprint();
+    if let Some(device) = service
+        .devices
+        .write()
+        .expect("device registry poisoned")
+        .get_mut(id)
+    {
+        // The noise was validated against the graph snapshot read above;
+        // if a concurrent re-registration swapped the device's graph in
+        // between, attaching it would pair a noise model with a graph it
+        // wasn't built for (routing would later panic on a missing edge).
+        if !Arc::ptr_eq(&device.graph, &graph) {
+            return Response::error(
+                409,
+                "device was re-registered during the refresh; resubmit the calibration",
+            );
+        }
+        device.noise = Some(noise);
+    }
+    Response::json(
+        200,
+        &JsonValue::object([("id", id.into()), ("noise_fingerprint", fingerprint.into())]),
+    )
+}
+
+fn admit_route(service: &RoutingService, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let kind = match parse_route_request(service, &body) {
+        Ok(kind) => kind,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    submit(service, kind)
+}
+
+fn parse_route_request(service: &RoutingService, body: &JsonValue) -> Result<JobKind, ApiError> {
+    api::as_object(body)?;
+    let device_id = body
+        .get("device")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ApiError::bad_request("\"device\" must name a registered device"))?;
+    let (graph, mut noise) = service.device(device_id)?;
+    let circuit = api::parse_circuit(
+        body.get("circuit")
+            .ok_or_else(|| ApiError::bad_request("missing \"circuit\""))?,
+    )?;
+    let config = api::apply_config_overrides(body.get("config"), service.config.default_config)?;
+    if body.get("ignore_noise").and_then(JsonValue::as_bool) == Some(true) {
+        noise = None;
+    }
+    let include_physical = body
+        .get("include_physical")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(true);
+    Ok(JobKind::Route {
+        device_id: device_id.to_string(),
+        graph,
+        noise,
+        circuit,
+        config,
+        include_physical,
+    })
+}
+
+fn admit_batch(service: &RoutingService, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let kind = match parse_batch_request(service, &body) {
+        Ok(kind) => kind,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    submit(service, kind)
+}
+
+fn parse_batch_request(service: &RoutingService, body: &JsonValue) -> Result<JobKind, ApiError> {
+    api::as_object(body)?;
+    let device_id = body
+        .get("device")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ApiError::bad_request("\"device\" must name a registered device"))?;
+    let (graph, mut noise) = service.device(device_id)?;
+    let specs = body
+        .get("circuits")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ApiError::bad_request("\"circuits\" must be an array"))?;
+    if specs.is_empty() {
+        return Err(ApiError::bad_request("\"circuits\" must not be empty"));
+    }
+    let circuits = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            api::parse_circuit(spec)
+                .map_err(|e| ApiError::bad_request(format!("circuit {i}: {}", e.message)))
+        })
+        .collect::<Result<Vec<Circuit>, ApiError>>()?;
+    let config = api::apply_config_overrides(body.get("config"), service.config.default_config)?;
+    if body.get("ignore_noise").and_then(JsonValue::as_bool) == Some(true) {
+        noise = None;
+    }
+    let options = TranspileOptions {
+        config,
+        noise,
+        direction: None,
+        skip_optimizer: body
+            .get("skip_optimizer")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+    };
+    let include_physical = body
+        .get("include_physical")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    Ok(JobKind::Batch {
+        device_id: device_id.to_string(),
+        graph,
+        circuits,
+        options,
+        include_physical,
+    })
+}
+
+/// Admission: try to enqueue, answer `503 + Retry-After` when the queue
+/// is full, block on the slot otherwise.
+fn submit(service: &RoutingService, kind: JobKind) -> Response {
+    let slot = Arc::new(JobSlot::new());
+    let job = Job {
+        kind,
+        slot: Arc::clone(&slot),
+        admitted: Instant::now(),
+    };
+    match service.queue.try_push(job) {
+        Ok(_depth) => {
+            Metrics::add(&service.metrics.jobs_admitted, 1);
+            slot.wait()
+        }
+        Err(PushError::Full(_)) => {
+            Metrics::add(&service.metrics.queue_rejections, 1);
+            unavailable(service, "routing queue is full")
+        }
+        Err(PushError::Closed(_)) => unavailable(service, "service is shutting down"),
+    }
+}
+
+/// The standard `503`: JSON error body plus `Retry-After`.
+fn unavailable(service: &RoutingService, message: &str) -> Response {
+    Response::error(503, message)
+        .with_header("Retry-After", service.config.retry_after_secs.to_string())
+}
+
+fn worker_loop(service: &Arc<RoutingService>) {
+    while let Some(job) = service.queue.pop() {
+        Metrics::add(
+            &service.metrics.queue_wait_ns_total,
+            job.admitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+        let response = catch_unwind(AssertUnwindSafe(|| execute(service, &job.kind)))
+            .unwrap_or_else(|_| Response::error(500, "internal error executing the job"));
+        Metrics::add(
+            if response.status() < 400 {
+                &service.metrics.jobs_completed
+            } else {
+                &service.metrics.jobs_failed
+            },
+            1,
+        );
+        job.slot.fill(response);
+    }
+}
+
+fn execute(service: &RoutingService, kind: &JobKind) -> Response {
+    match kind {
+        JobKind::Route {
+            device_id,
+            graph,
+            noise,
+            circuit,
+            config,
+            include_physical,
+        } => {
+            let router = match noise {
+                Some(noise) => service.cache.router_with_noise(graph, *config, noise),
+                None => service.cache.router(graph, *config),
+            };
+            let router = match router {
+                Ok(router) => router,
+                Err(e) => return Response::error(422, &format!("routing failed: {e}")),
+            };
+            let result = match router.route(circuit) {
+                Ok(result) => result,
+                Err(e) => return Response::error(422, &format!("routing failed: {e}")),
+            };
+            service.metrics.record_routing(
+                result.elapsed.as_nanos(),
+                result.total_search_steps(),
+                result.ns_per_step(),
+            );
+            Metrics::add(&service.metrics.circuits_routed, 1);
+            let mut fields = vec![
+                ("device", JsonValue::from(device_id.as_str())),
+                ("noise_aware", noise.is_some().into()),
+                ("seed", config.seed.into()),
+                ("result", result.to_json()),
+            ];
+            if *include_physical {
+                fields.push((
+                    "physical_qasm",
+                    sabre_qasm::to_qasm(&result.best.physical).into(),
+                ));
+            }
+            Response::json(200, &JsonValue::object(fields))
+        }
+        JobKind::Batch {
+            device_id,
+            graph,
+            circuits,
+            options,
+            include_physical,
+        } => {
+            let outcomes = transpile_batch_cached(circuits, graph, options, &service.cache);
+            let succeeded = outcomes.iter().filter(|o| o.is_transpiled()).count();
+            Metrics::add(&service.metrics.circuits_routed, succeeded as u64);
+            let slots: JsonValue = outcomes
+                .iter()
+                .map(|outcome| match outcome.as_result() {
+                    Ok(output) => {
+                        let mut fields = vec![("ok", output.to_json())];
+                        if *include_physical {
+                            fields.push((
+                                "physical_qasm",
+                                sabre_qasm::to_qasm(&output.circuit).into(),
+                            ));
+                        }
+                        JsonValue::object(fields)
+                    }
+                    Err(error) => JsonValue::object([("error", error.to_string().into())]),
+                })
+                .collect();
+            // Partial success is a 200: the response reports per-slot
+            // outcomes, which is the point of `BatchOutcome`.
+            Response::json(
+                200,
+                &JsonValue::object([
+                    ("device", device_id.as_str().into()),
+                    ("noise_aware", options.noise.is_some().into()),
+                    ("succeeded", succeeded.into()),
+                    ("failed", (outcomes.len() - succeeded).into()),
+                    ("outcomes", slots),
+                ]),
+            )
+        }
+    }
+}
+
+fn parse_body(request: &Request) -> Result<JsonValue, Response> {
+    let text = match request.body_str() {
+        Ok(text) => text,
+        Err(e) => return Err(e.response().expect("BadRequest has a response")),
+    };
+    if text.trim().is_empty() {
+        return Err(Response::error(400, "missing JSON request body"));
+    }
+    JsonValue::parse(text).map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
+}

@@ -1,0 +1,125 @@
+//! Round-trip a circuit through a loopback `sabre-serve` instance: start
+//! the server on an ephemeral port, register a device over HTTP, route a
+//! QFT, refresh the calibration live, and scrape the metrics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_client
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use sabre_json::JsonValue;
+use sabre_serve::{start, ServeConfig};
+
+/// One blocking HTTP request; returns `(status, body)`.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    request.push_str(body.unwrap_or(""));
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &JsonValue) -> JsonValue {
+    let (status, text) = http(addr, "POST", path, Some(&body.to_compact()));
+    assert!(status < 300, "POST {path} failed with {status}: {text}");
+    JsonValue::parse(&text).expect("JSON response")
+}
+
+fn main() {
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+    println!("server listening on http://{addr}");
+
+    // Register IBM Q20 Tokyo under the id "tokyo".
+    let registered = post(
+        addr,
+        "/devices",
+        &JsonValue::object([("id", "tokyo".into()), ("builtin", "tokyo20".into())]),
+    );
+    println!(
+        "registered device: {} qubits, {} couplings",
+        registered.get("num_qubits").unwrap(),
+        registered.get("num_edges").unwrap()
+    );
+
+    // Route a 5-qubit QFT with a per-request seed and trial count.
+    let qft = sabre_benchgen::qft::qft(5);
+    let route = |label: &str, extra: &[(&str, JsonValue)]| {
+        let mut body = vec![
+            ("device", JsonValue::from("tokyo")),
+            (
+                "circuit",
+                JsonValue::object([
+                    ("qasm", sabre_qasm::to_qasm(&qft).into()),
+                    ("name", "qft5".into()),
+                ]),
+            ),
+            (
+                "config",
+                JsonValue::object([("seed", 7u64.into()), ("trials", 5u64.into())]),
+            ),
+        ];
+        body.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+        let response = post(addr, "/route", &JsonValue::object(body));
+        let result = response.get("result").unwrap();
+        let best = result.get("best").unwrap();
+        println!(
+            "{label}: {} swaps (+{} gates), depth {}, {} search steps, {} ns/step",
+            best.get("num_swaps").unwrap(),
+            best.get("added_gates").unwrap(),
+            best.get("depth").unwrap(),
+            result.get("total_search_steps").unwrap(),
+            result.get("ns_per_step").unwrap(),
+        );
+    };
+    route("hop-based routing", &[]);
+
+    // A fresh calibration lands: refresh the noise model live (the cache
+    // recomputes only the weighted matrix) and route again — no restart.
+    post(
+        addr,
+        "/devices/tokyo/noise",
+        &JsonValue::object([(
+            "calibrated",
+            JsonValue::object([
+                ("base", 0.02.into()),
+                ("spread", 4.0.into()),
+                ("seed", 1u64.into()),
+            ]),
+        )]),
+    );
+    route("noise-aware routing", &[]);
+
+    // The admission telemetry the service exports for ops.
+    let (status, metrics) = http(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("sabre_serve_routing") || l.starts_with("sabre_serve_queue_depth")
+    }) {
+        println!("metrics: {line}");
+    }
+
+    handle.shutdown();
+    println!("server drained and stopped");
+}

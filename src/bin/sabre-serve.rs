@@ -1,0 +1,93 @@
+//! `sabre-serve` — run the SABRE routing service as a process.
+//!
+//! ```text
+//! sabre-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!             [--retry-after SECS] [--max-body-bytes N] [--preload]
+//! ```
+//!
+//! `--preload` registers the fixed builtin devices (`tokyo20`, `qx5`,
+//! `qx2`, `falcon27`) at boot so a fresh instance can serve `POST /route`
+//! immediately — otherwise register devices via `POST /devices`.
+//!
+//! The process serves until killed; embed `sabre_serve::start` directly
+//! when you need programmatic graceful shutdown
+//! (`ServerHandle::shutdown` drains in-flight jobs).
+
+use std::process::exit;
+
+use sabre_serve::{api, start, ServeConfig};
+
+const PRELOADED: [&str; 4] = ["tokyo20", "qx5", "qx2", "falcon27"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sabre-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+         \x20                  [--retry-after SECS] [--max-body-bytes N] [--preload]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut preload = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--queue-capacity" => {
+                config.queue_capacity = parse(&value("--queue-capacity"), "--queue-capacity");
+            }
+            "--retry-after" => {
+                config.retry_after_secs = parse(&value("--retry-after"), "--retry-after");
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = parse(&value("--max-body-bytes"), "--max-body-bytes");
+            }
+            "--preload" => preload = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("sabre-serve: {e}");
+            exit(1);
+        }
+    };
+    if preload {
+        for name in PRELOADED {
+            let device = api::builtin_device(name).expect("preload names are builtin");
+            match handle.register_device(name, device.graph()) {
+                Ok(()) => eprintln!("sabre-serve: preloaded device `{name}`"),
+                Err(e) => {
+                    eprintln!("sabre-serve: preloading `{name}` failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+    }
+    // The smoke scripts in CI wait for this exact line.
+    println!("sabre-serve listening on http://{}", handle.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{text}`");
+        exit(2);
+    })
+}

@@ -9,7 +9,9 @@ pub use sabre;
 pub use sabre_baseline;
 pub use sabre_benchgen;
 pub use sabre_circuit;
+pub use sabre_json;
 pub use sabre_qasm;
+pub use sabre_serve;
 pub use sabre_sim;
 pub use sabre_topology;
 pub use sabre_verify;

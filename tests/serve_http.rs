@@ -1,0 +1,578 @@
+//! End-to-end loopback tests for `sabre-serve`: a real server on an
+//! ephemeral port, real `TcpStream` clients, full HTTP round trips.
+//!
+//! These pin the PR's acceptance criteria:
+//! - concurrent `/route` requests on a shared `DeviceCache` are
+//!   **byte-identical** to direct `route_batch` calls for the same seeds;
+//! - a full queue answers `503` with a `Retry-After` header;
+//! - `POST /devices/{id}/noise` changes subsequent routing output without
+//!   a restart;
+//! - graceful shutdown drains every admitted job.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sabre::{SabreConfig, SabreRouter};
+use sabre_circuit::{Circuit, Qubit};
+use sabre_json::JsonValue;
+use sabre_qasm::to_qasm;
+use sabre_serve::{start, ServeConfig, ServerHandle};
+use sabre_topology::devices;
+use sabre_topology::noise::NoiseModel;
+
+/// Blocking HTTP/1.1 client for one request: returns status, lower-cased
+/// headers, and the body text.
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn post_json(addr: SocketAddr, path: &str, body: &JsonValue) -> (u16, JsonValue) {
+    let (status, _, text) = http(addr, "POST", path, Some(&body.to_compact()));
+    let parsed = JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("non-JSON response to {path} ({status}): {e}: {text}"));
+    (status, parsed)
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (u16, JsonValue) {
+    let (status, _, text) = http(addr, "GET", path, None);
+    (status, JsonValue::parse(&text).expect("JSON response"))
+}
+
+/// Registers a builtin device and asserts success.
+fn register(addr: SocketAddr, id: &str, builtin: &str) {
+    let (status, _) = post_json(
+        addr,
+        "/devices",
+        &JsonValue::object([("id", id.into()), ("builtin", builtin.into())]),
+    );
+    assert_eq!(status, 201, "registering {builtin}");
+}
+
+/// Deterministic pseudo-random CX workload (same generator family as the
+/// core crate's tests).
+fn workload(n: u32, rounds: u32, stride: (u32, u32)) -> Circuit {
+    let mut c = Circuit::new(n);
+    for r in 0..rounds {
+        let a = (r * stride.0 + 3) % n;
+        let b = (r * stride.1 + 1) % n;
+        if a != b {
+            c.cx(Qubit(a), Qubit(b));
+        }
+    }
+    c
+}
+
+/// `/route` request body for `circuit` on `device` with explicit config.
+fn route_body(device: &str, circuit: &Circuit, config: &[(&str, JsonValue)]) -> JsonValue {
+    JsonValue::object([
+        ("device", device.into()),
+        (
+            "circuit",
+            JsonValue::object([("qasm", to_qasm(circuit).into())]),
+        ),
+        (
+            "config",
+            JsonValue::object(config.iter().map(|(k, v)| (*k, v.clone()))),
+        ),
+    ])
+}
+
+/// Asserts a 200 `/route` response is byte-identical to a direct routing
+/// result: same `best` JSON (layouts, counters, depth) and same physical
+/// circuit QASM.
+fn assert_matches_direct(response: &JsonValue, direct: &sabre::SabreResult) {
+    assert_eq!(
+        response.get("result").unwrap().get("best").unwrap(),
+        &direct.best.to_json(),
+        "routed artifact must be byte-identical to the direct call"
+    );
+    assert_eq!(
+        response.get("physical_qasm").unwrap().as_str().unwrap(),
+        to_qasm(&direct.best.physical),
+    );
+}
+
+fn server(config: ServeConfig) -> ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("start loopback server")
+}
+
+/// Polls `/healthz` until the queue reaches `depth` (or panics after 30s).
+fn wait_for_queue_depth(addr: SocketAddr, depth: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, health) = get_json(addr, "/healthz");
+        assert_eq!(status, 200);
+        if health.get("queue_depth").unwrap().as_usize() == Some(depth) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "queue never reached depth {depth}: {health}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls `/metrics` until `name` reaches `target` (or panics after 30s).
+fn wait_for_metric(addr: SocketAddr, name: &str, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _, text) = http(addr, "GET", "/metrics", None);
+        assert_eq!(status, 200);
+        let value: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+            .parse()
+            .unwrap();
+        if value >= target {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{name} stuck at {value}, wanted {target}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn concurrent_routes_are_byte_identical_to_direct_route_batch() {
+    let handle = server(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "tokyo", "tokyo20");
+
+    let circuits: Vec<Circuit> = (0..6).map(|i| workload(12, 60 + 15 * i, (5, 7))).collect();
+    let graph = devices::ibm_q20_tokyo().graph().clone();
+    let config = SabreConfig::default();
+    let router = SabreRouter::new(graph.clone(), config).unwrap();
+    let direct = router.route_batch(&circuits);
+
+    // All six requests in flight at once, against the shared DeviceCache.
+    let clients: Vec<_> = circuits
+        .iter()
+        .map(|circuit| {
+            let body = route_body("tokyo", circuit, &[("seed", config.seed.into())]);
+            thread::spawn(move || post_json(addr, "/route", &body))
+        })
+        .collect();
+    for (client, direct) in clients.into_iter().zip(&direct) {
+        let (status, response) = client.join().unwrap();
+        assert_eq!(status, 200, "{response}");
+        assert_matches_direct(&response, direct.as_ref().unwrap());
+        assert_eq!(response.get("noise_aware").unwrap().as_bool(), Some(false));
+    }
+
+    // Distinct per-request seeds match distinct direct routers.
+    for seed in [7u64, 4242] {
+        let (status, response) = post_json(
+            addr,
+            "/route",
+            &route_body("tokyo", &circuits[0], &[("seed", seed.into())]),
+        );
+        assert_eq!(status, 200);
+        let direct = SabreRouter::new(graph.clone(), SabreConfig { seed, ..config })
+            .unwrap()
+            .route(&circuits[0])
+            .unwrap();
+        assert_matches_direct(&response, &direct);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_answers_503_with_retry_after() {
+    // A frozen pool (workers = 0) makes backpressure deterministic: jobs
+    // are admitted but never popped.
+    let handle = server(ServeConfig {
+        workers: 0,
+        queue_capacity: 2,
+        retry_after_secs: 7,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "line", "linear:4");
+
+    let body = route_body("line", &workload(4, 10, (3, 2)), &[("trials", 1u64.into())]);
+    let blocked: Vec<_> = (0..2)
+        .map(|_| {
+            let body = body.clone();
+            thread::spawn(move || post_json(addr, "/route", &body))
+        })
+        .collect();
+    wait_for_queue_depth(addr, 2);
+
+    // Third request: queue full → immediate 503 + Retry-After.
+    let (status, headers, text) = http(addr, "POST", "/route", Some(&body.to_compact()));
+    assert_eq!(status, 503);
+    assert_eq!(headers.get("retry-after").map(String::as_str), Some("7"));
+    let error = JsonValue::parse(&text).unwrap();
+    assert!(
+        error
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("full"),
+        "{text}"
+    );
+
+    // Aborting fails the two admitted jobs with 503 too — no client hangs.
+    handle.shutdown_now();
+    for client in blocked {
+        let (status, response) = client.join().unwrap();
+        assert_eq!(status, 503);
+        assert!(response
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("shutting down"));
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_jobs() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "tokyo", "tokyo20");
+
+    // One heavy circuit occupies the single worker while the rest queue.
+    let circuits: Vec<Circuit> = std::iter::once(workload(16, 800, (5, 7)))
+        .chain((0..4).map(|i| workload(10, 40 + 10 * i, (3, 5))))
+        .collect();
+    let config = SabreConfig::default();
+    let router = SabreRouter::new(devices::ibm_q20_tokyo().graph().clone(), config).unwrap();
+    let direct = router.route_batch(&circuits);
+
+    let clients: Vec<_> = circuits
+        .iter()
+        .map(|circuit| {
+            let body = route_body("tokyo", circuit, &[("seed", config.seed.into())]);
+            thread::spawn(move || post_json(addr, "/route", &body))
+        })
+        .collect();
+    // Wait until all five jobs are *admitted* (accepted into the queue).
+    // Shutting down earlier would race a straggler client against the
+    // closing queue; once admitted, the drain guarantee owns them.
+    wait_for_metric(
+        addr,
+        "sabre_serve_jobs_admitted_total",
+        circuits.len() as u64,
+    );
+
+    // Graceful: every admitted job still gets its real, correct response.
+    handle.shutdown();
+    for (client, direct) in clients.into_iter().zip(&direct) {
+        let (status, response) = client.join().unwrap();
+        assert_eq!(status, 200, "drained job must succeed: {response}");
+        assert_matches_direct(&response, direct.as_ref().unwrap());
+    }
+}
+
+#[test]
+fn noise_refresh_changes_routing_without_restart() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "ring", "ring:6");
+    let graph = devices::ring(6).graph().clone();
+
+    let mut circuit = Circuit::new(6);
+    for _ in 0..3 {
+        circuit.cx(Qubit(0), Qubit(3));
+        circuit.cx(Qubit(1), Qubit(4));
+        circuit.cx(Qubit(2), Qubit(5));
+    }
+    let config = [
+        ("trials", JsonValue::from(1u64)),
+        ("num_traversals", 1u64.into()),
+        ("probe_budget", 0u64.into()),
+    ];
+    let sabre_config = SabreConfig {
+        num_restarts: 1,
+        num_traversals: 1,
+        embedding_probe_budget: 0,
+        ..SabreConfig::default()
+    };
+
+    let (status, before) = post_json(addr, "/route", &route_body("ring", &circuit, &config));
+    assert_eq!(status, 200);
+    let direct_before = SabreRouter::new(graph.clone(), sabre_config)
+        .unwrap()
+        .route(&circuit)
+        .unwrap();
+    assert_matches_direct(&before, &direct_before);
+
+    // New calibration: one side of the ring becomes terrible.
+    let noise_spec = JsonValue::object([
+        ("two_qubit_error", 0.001.into()),
+        ("single_qubit_error", 0.0001.into()),
+        (
+            "edges",
+            JsonValue::array([
+                JsonValue::array([0u64.into(), 1u64.into(), 0.4.into()]),
+                JsonValue::array([1u64.into(), 2u64.into(), 0.4.into()]),
+                JsonValue::array([2u64.into(), 3u64.into(), 0.4.into()]),
+            ]),
+        ),
+    ]);
+    let (status, refreshed) = post_json(addr, "/devices/ring/noise", &noise_spec);
+    assert_eq!(status, 200, "{refreshed}");
+    assert!(refreshed
+        .get("noise_fingerprint")
+        .unwrap()
+        .as_u64()
+        .is_some());
+
+    // Same request, same process — different routing.
+    let (status, after) = post_json(addr, "/route", &route_body("ring", &circuit, &config));
+    assert_eq!(status, 200);
+    assert_eq!(after.get("noise_aware").unwrap().as_bool(), Some(true));
+    assert_ne!(
+        before.get("result").unwrap().get("best").unwrap(),
+        after.get("result").unwrap().get("best").unwrap(),
+        "the refreshed calibration must change the routing output"
+    );
+
+    // And it matches the direct noise-aware router bit for bit.
+    let noise = NoiseModel::uniform(&graph, 0.001, 0.0001)
+        .with_edge_error(Qubit(0), Qubit(1), 0.4)
+        .with_edge_error(Qubit(1), Qubit(2), 0.4)
+        .with_edge_error(Qubit(2), Qubit(3), 0.4);
+    let direct_after = SabreRouter::with_noise(graph.clone(), sabre_config, &noise)
+        .unwrap()
+        .route(&circuit)
+        .unwrap();
+    assert_matches_direct(&after, &direct_after);
+
+    // Per-request opt-out returns to hop-based routing.
+    let mut body = route_body("ring", &circuit, &config);
+    if let JsonValue::Object(pairs) = &mut body {
+        pairs.push(("ignore_noise".into(), true.into()));
+    }
+    let (status, hops) = post_json(addr, "/route", &body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        hops.get("result").unwrap().get("best").unwrap(),
+        before.get("result").unwrap().get("best").unwrap(),
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn api_validation_and_partial_success_batches() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "line", "linear:4");
+
+    // Path/method errors.
+    let (status, _, _) = http(addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = http(addr, "DELETE", "/route", None);
+    assert_eq!(status, 405);
+
+    // Body errors.
+    let (status, _, text) = http(addr, "POST", "/route", Some("{not json"));
+    assert_eq!(status, 400, "{text}");
+    let (status, response) = post_json(
+        addr,
+        "/route",
+        &route_body("ghost", &workload(3, 4, (2, 1)), &[]),
+    );
+    assert_eq!(status, 404);
+    assert!(response
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("register"));
+    let (status, response) = post_json(
+        addr,
+        "/route",
+        &JsonValue::object([
+            ("device", "line".into()),
+            ("circuit", JsonValue::object([("qasm", "not qasm".into())])),
+        ]),
+    );
+    assert_eq!(status, 400);
+    assert!(response
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("OpenQASM"));
+    let (status, response) = post_json(
+        addr,
+        "/route",
+        &route_body("line", &workload(3, 4, (2, 1)), &[("tirals", 3u64.into())]),
+    );
+    assert_eq!(status, 400);
+    assert!(response
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("tirals"));
+
+    // Partial-success batch: the oversized slot fails, the others route.
+    let circuits = JsonValue::array([
+        JsonValue::object([("qasm", to_qasm(&workload(4, 12, (3, 2))).into())]),
+        JsonValue::object([("qasm", to_qasm(&workload(6, 12, (3, 2))).into())]),
+        JsonValue::object([("qasm", to_qasm(&workload(3, 6, (2, 1))).into())]),
+    ]);
+    let (status, response) = post_json(
+        addr,
+        "/transpile_batch",
+        &JsonValue::object([("device", "line".into()), ("circuits", circuits)]),
+    );
+    assert_eq!(status, 200, "{response}");
+    assert_eq!(response.get("succeeded").unwrap().as_usize(), Some(2));
+    assert_eq!(response.get("failed").unwrap().as_usize(), Some(1));
+    let outcomes = response.get("outcomes").unwrap().as_array().unwrap();
+    assert!(outcomes[0]
+        .get("ok")
+        .unwrap()
+        .get("swaps_inserted")
+        .is_some());
+    assert!(outcomes[1]
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("qubits"));
+    assert!(outcomes[2].get("ok").is_some());
+
+    // Re-registration replaces (200), first registration created (201).
+    let reg = JsonValue::object([("id", "line".into()), ("builtin", "linear:4".into())]);
+    let (status, _) = post_json(addr, "/devices", &reg);
+    assert_eq!(status, 200);
+    let (status, listed) = get_json(addr, "/devices");
+    assert_eq!(status, 200);
+    let devices = listed.get("devices").unwrap().as_array().unwrap();
+    assert_eq!(devices.len(), 1);
+    assert_eq!(devices[0].get("id").unwrap().as_str(), Some("line"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_get_413() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        max_body_bytes: 200,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let big = "x".repeat(1000);
+    let (status, _, text) = http(addr, "POST", "/route", Some(&big));
+    assert_eq!(status, 413, "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_per_step_routing_telemetry() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "line", "linear:4");
+
+    let (_, _, before) = http(addr, "GET", "/metrics", None);
+    assert!(before.contains("sabre_serve_routing_steps_total 0"));
+
+    // cx(0,3) on a 4-line needs SWAPs, so search steps are guaranteed.
+    let mut circuit = Circuit::new(4);
+    circuit.cx(Qubit(0), Qubit(3));
+    let (status, response) = post_json(
+        addr,
+        "/route",
+        &route_body("line", &circuit, &[("trials", 1u64.into())]),
+    );
+    assert_eq!(status, 200);
+    let steps = response
+        .get("result")
+        .unwrap()
+        .get("total_search_steps")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(steps >= 1);
+
+    let (status, _, after) = http(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let metric = |name: &str| -> u64 {
+        after
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{after}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(metric("sabre_serve_routing_steps_total"), steps);
+    assert!(metric("sabre_serve_routing_ns_total") > 0);
+    assert!(metric("sabre_serve_last_route_ns_per_step") > 0);
+    assert!(metric("sabre_serve_avg_route_ns_per_step") > 0);
+    assert_eq!(metric("sabre_serve_jobs_completed_total"), 1);
+    assert_eq!(metric("sabre_serve_queue_depth"), 0);
+    assert!(after.contains("sabre_serve_requests_total{endpoint=\"route\"} 1"));
+    assert!(after.contains("sabre_serve_cache_graph_hits_total"));
+
+    let (status, health) = get_json(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("workers").unwrap().as_usize(), Some(1));
+    handle.shutdown();
+}
