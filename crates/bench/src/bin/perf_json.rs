@@ -7,7 +7,10 @@
 //! entry is routed `repeats` times through a single forward
 //! [`sabre::router::route_pass`] traversal from the identity layout with
 //! [`SabreConfig::fast`], and the **median** wall time is reported
-//! together with the per-step quotient. Routing is deterministic, so
+//! together with the per-step quotient. A **sharded** scenario
+//! (`fleet2xtokyo20`) additionally times the full multi-device pipeline —
+//! partition, per-shard cached routing, stitch — via
+//! [`sabre_shard::route_sharded`]. Routing is deterministic, so
 //! `num_swaps`/`search_steps` are stable across runs and machines — only
 //! the nanosecond figures move.
 //!
@@ -35,11 +38,12 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sabre::router::route_pass;
-use sabre::{Layout, SabreConfig};
+use sabre::{DeviceCache, Layout, SabreConfig};
 use sabre_benchgen::random;
 use sabre_circuit::fingerprint::Fingerprinter;
 use sabre_circuit::Circuit;
 use sabre_json::JsonValue;
+use sabre_shard::{route_sharded, Fleet, ShardConfig};
 use sabre_topology::{devices, CouplingGraph, WeightedDistanceMatrix};
 
 /// Schema tag of the history file.
@@ -107,6 +111,55 @@ fn measure(graph: &CouplingGraph, circuit: &Circuit, repeats: usize) -> (usize, 
     }
     walls.sort_unstable();
     (swaps, steps, walls[walls.len() / 2])
+}
+
+/// Times the full sharded pipeline on a two-Tokyo fleet: a 30-qubit
+/// circuit (wider than either chip) is partitioned, routed per shard
+/// through one shared [`DeviceCache`] (cold on the first repeat, warm
+/// after — the service shape), and stitched. Counts are deterministic;
+/// `search_steps` sums the winning traversal of every shard.
+fn measure_sharded(repeats: usize) -> Entry {
+    let mut fleet = Fleet::new();
+    fleet
+        .register("tokyo-a", devices::ibm_q20_tokyo().graph().clone())
+        .expect("fresh fleet id");
+    fleet
+        .register("tokyo-b", devices::ibm_q20_tokyo().graph().clone())
+        .expect("fresh fleet id");
+    let mut fp = Fingerprinter::new("sabre/perf-json-corpus/v1");
+    for byte in "fleet2xtokyo20".bytes().chain("sharded".bytes()) {
+        fp.write_u64(u64::from(byte));
+    }
+    let (num_qubits, num_gates) = (30u32, 1_200usize);
+    fp.write_u64(num_gates as u64);
+    let circuit = random::random_circuit(num_qubits, num_gates, 0.9, fp.finish());
+    let config = ShardConfig {
+        sabre: SabreConfig::fast(),
+        ..ShardConfig::default()
+    };
+    let cache = DeviceCache::new();
+    let mut walls: Vec<u128> = Vec::with_capacity(repeats);
+    let mut num_swaps = 0;
+    let mut search_steps = 0;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let plan = route_sharded(&circuit, &fleet, &config, &cache).expect("sharded routing");
+        walls.push(start.elapsed().as_nanos());
+        num_swaps = plan.total_swaps();
+        search_steps = plan.shards.iter().map(|s| s.result.best.search_steps).sum();
+    }
+    walls.sort_unstable();
+    let median_wall_ns = walls[walls.len() / 2];
+    Entry {
+        device: "fleet2xtokyo20",
+        circuit: "sharded",
+        num_qubits,
+        num_gates,
+        num_swaps,
+        search_steps,
+        median_wall_ns,
+        median_ns_per_step: median_wall_ns / search_steps.max(1) as u128,
+    }
 }
 
 /// Current git revision — the trajectory's x-axis. Falls back to
@@ -230,6 +283,17 @@ fn main() {
             median_ns_per_step,
         });
     }
+    let sharded = measure_sharded(repeats);
+    eprintln!(
+        "{}/{}: swaps={} steps={} median_wall={}ns ns/step={}",
+        sharded.device,
+        sharded.circuit,
+        sharded.num_swaps,
+        sharded.search_steps,
+        sharded.median_wall_ns,
+        sharded.median_ns_per_step
+    );
+    entries.push(sharded);
 
     let rev = git_rev();
     let mut points = if fresh {

@@ -1,0 +1,203 @@
+//! Bulk loading of OpenQASM corpora — the first slice of real-benchmark
+//! ingestion (QASMBench, RevLib exports): point [`load_dir`] at a
+//! directory and every `.qasm` file comes back as a named
+//! [`Circuit`], in a **deterministic** order (sorted by file name), so
+//! corpus-driven runs — bench registries, sharded-routing inputs — are
+//! reproducible across machines and filesystems.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sabre_circuit::Circuit;
+
+use crate::{parse, QasmError};
+
+/// Why loading a corpus failed. Any single bad file fails the load —
+/// silently skipping a corrupt benchmark would corrupt every comparison
+/// made against the corpus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorpusError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// Rendered `std::io::Error`.
+        error: String,
+    },
+    /// A file did not parse as OpenQASM.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// The parse failure (with line/column).
+        error: QasmError,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, error } => {
+                write!(f, "cannot read `{}`: {error}", path.display())
+            }
+            CorpusError::Parse { path, error } => {
+                write!(f, "`{}` is not valid OpenQASM: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Loads every `*.qasm` file (case-insensitive extension) directly under
+/// `dir` as a circuit named after its file stem, **sorted by file name**
+/// so the returned order is identical on every platform. Subdirectories
+/// and other extensions are ignored; an empty directory returns an empty
+/// vector.
+///
+/// # Errors
+///
+/// [`CorpusError::Io`] if the directory or a file cannot be read,
+/// [`CorpusError::Parse`] (naming the file) on the first malformed
+/// circuit.
+///
+/// # Example
+///
+/// ```no_run
+/// let corpus = sabre_qasm::load_dir("benchmarks/qasm")?;
+/// for circuit in &corpus {
+///     println!("{}: {} qubits", circuit.name(), circuit.num_qubits());
+/// }
+/// # Ok::<(), sabre_qasm::CorpusError>(())
+/// ```
+pub fn load_dir(dir: impl AsRef<Path>) -> Result<Vec<Circuit>, CorpusError> {
+    let dir = dir.as_ref();
+    let io_err = |path: &Path, error: std::io::Error| CorpusError::Io {
+        path: path.to_path_buf(),
+        error: error.to_string(),
+    };
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        let is_qasm = path
+            .extension()
+            .is_some_and(|ext| ext.eq_ignore_ascii_case("qasm"));
+        if path.is_file() && is_qasm {
+            files.push(path);
+        }
+    }
+    // Sort by file *name* (byte order), not full path, so the order is a
+    // property of the corpus rather than of where it is mounted.
+    files.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+
+    files
+        .into_iter()
+        .map(|path| {
+            let source = fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+            let mut circuit = parse(&source).map_err(|error| CorpusError::Parse {
+                path: path.clone(),
+                error,
+            })?;
+            circuit.set_name(
+                path.file_stem()
+                    .map(|stem| stem.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+            );
+            Ok(circuit)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// A scratch directory unique to this test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("sabre-qasm-corpus-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).expect("create scratch dir");
+            Scratch(dir)
+        }
+
+        fn write(&self, name: &str, content: &str) {
+            fs::write(self.0.join(name), content).expect("write corpus file");
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const BELL: &str =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n";
+    const GHZ3: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0], q[1];\ncx q[1], q[2];\n";
+
+    #[test]
+    fn loads_sorted_and_named_by_stem() {
+        let scratch = Scratch::new("sorted");
+        // Written out of order; loaded sorted by file name.
+        scratch.write("zz_ghz.qasm", GHZ3);
+        scratch.write("aa_bell.qasm", BELL);
+        scratch.write("notes.txt", "not a circuit");
+        let corpus = load_dir(&scratch.0).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus[0].name(), "aa_bell");
+        assert_eq!(corpus[0].num_qubits(), 2);
+        assert_eq!(corpus[1].name(), "zz_ghz");
+        assert_eq!(corpus[1].num_gates(), 3);
+    }
+
+    #[test]
+    fn extension_matching_is_case_insensitive() {
+        let scratch = Scratch::new("case");
+        scratch.write("upper.QASM", BELL);
+        let corpus = load_dir(&scratch.0).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus[0].name(), "upper");
+    }
+
+    #[test]
+    fn empty_directory_loads_empty() {
+        let scratch = Scratch::new("empty");
+        assert_eq!(load_dir(&scratch.0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn parse_failures_name_the_file() {
+        let scratch = Scratch::new("badparse");
+        scratch.write("ok.qasm", BELL);
+        scratch.write("broken.qasm", "OPENQASM 2.0;\nqreg q[2;\n");
+        match load_dir(&scratch.0).unwrap_err() {
+            CorpusError::Parse { path, .. } => {
+                assert!(path.to_string_lossy().contains("broken.qasm"));
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let missing = std::env::temp_dir().join("sabre-qasm-no-such-dir-xyz");
+        assert!(matches!(
+            load_dir(&missing).unwrap_err(),
+            CorpusError::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn repeated_loads_are_identical() {
+        let scratch = Scratch::new("repeat");
+        scratch.write("a.qasm", BELL);
+        scratch.write("b.qasm", GHZ3);
+        assert_eq!(load_dir(&scratch.0).unwrap(), load_dir(&scratch.0).unwrap());
+    }
+}

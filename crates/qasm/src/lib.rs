@@ -4,6 +4,8 @@
 //! Quipper and ScaffCC compilations) ships as OpenQASM 2.0 text. This crate
 //! parses that format into [`sabre_circuit::Circuit`] and serializes
 //! circuits back out, so users can route their own benchmark files.
+//! [`load_dir`] bulk-loads a whole corpus directory in deterministic
+//! (sorted) order for the bench registry and sharded-routing inputs.
 //!
 //! Supported subset (everything the paper-era benchmarks use):
 //!
@@ -39,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod corpus;
 mod error;
 mod lexer;
 mod parser;
 mod writer;
 
+pub use corpus::{load_dir, CorpusError};
 pub use error::QasmError;
 pub use parser::{parse, parse_program, ParsedProgram};
 pub use writer::to_qasm;

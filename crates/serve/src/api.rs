@@ -9,6 +9,7 @@
 use sabre::{HeuristicKind, SabreConfig};
 use sabre_circuit::{Circuit, Gate, OneQubitKind, Params, Qubit, TwoQubitKind};
 use sabre_json::JsonValue;
+use sabre_shard::ShardConfig;
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::{devices, CouplingGraph};
 
@@ -290,6 +291,87 @@ pub fn apply_config_overrides(
     Ok(config)
 }
 
+/// Builds a [`ShardConfig`] for `POST /route_sharded`: the request's
+/// `"config"` object overrides the per-shard [`SabreConfig`] exactly like
+/// `/route`, and the top-level `"cut_cost"` (positive finite number) and
+/// `"max_refinement_passes"` (integer) tune the partitioner.
+pub fn apply_shard_overrides(body: &JsonValue, base: SabreConfig) -> Result<ShardConfig, ApiError> {
+    let mut config = ShardConfig {
+        sabre: apply_config_overrides(body.get("config"), base)?,
+        ..ShardConfig::default()
+    };
+    if let Some(value) = body.get("cut_cost") {
+        config.cut_cost = Some(
+            value
+                .as_f64()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| {
+                    ApiError::bad_request("\"cut_cost\" must be a positive finite number")
+                })?,
+        );
+    }
+    if let Some(value) = body.get("max_refinement_passes") {
+        config.max_refinement_passes = value
+            .as_usize()
+            .ok_or_else(|| ApiError::bad_request("\"max_refinement_passes\" must be an integer"))?;
+    }
+    config
+        .validate()
+        .map_err(|reason| ApiError::bad_request(format!("invalid config: {reason}")))?;
+    Ok(config)
+}
+
+/// Parses a `POST /fleets` body: `{"id": "...", "devices": ["a", "b"]}`
+/// with a non-empty, duplicate-free device list. Device existence is
+/// checked by the caller against the live registry.
+pub fn parse_fleet_registration(body: &JsonValue) -> Result<(String, Vec<String>), ApiError> {
+    as_object(body)?;
+    let id = parse_registry_id(body)?;
+    let devices = parse_device_id_list(
+        body.get("devices")
+            .ok_or_else(|| ApiError::bad_request("missing \"devices\" (device id list)"))?,
+    )?;
+    Ok((id, devices))
+}
+
+/// Parses an ordered device-id list (`/fleets` bodies and inline
+/// `/route_sharded` `"devices"`): a non-empty JSON array of unique
+/// strings.
+pub fn parse_device_id_list(value: &JsonValue) -> Result<Vec<String>, ApiError> {
+    let devices = value
+        .as_array()
+        .filter(|list| !list.is_empty())
+        .ok_or_else(|| {
+            ApiError::bad_request("\"devices\" must be a non-empty array of device ids")
+        })?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ApiError::bad_request("device ids must be strings"))
+        })
+        .collect::<Result<Vec<String>, ApiError>>()?;
+    for (i, device) in devices.iter().enumerate() {
+        if devices[..i].contains(device) {
+            return Err(ApiError::bad_request(format!(
+                "device `{device}` is listed twice"
+            )));
+        }
+    }
+    Ok(devices)
+}
+
+/// The shared `"id"` field rule for `/devices` and `/fleets` bodies.
+fn parse_registry_id(body: &JsonValue) -> Result<String, ApiError> {
+    body.get("id")
+        .and_then(JsonValue::as_str)
+        .filter(|s| !s.is_empty() && s.len() <= 128 && !s.contains('/'))
+        .map(str::to_string)
+        .ok_or_else(|| {
+            ApiError::bad_request("\"id\" must be a non-empty string without `/` (≤128 chars)")
+        })
+}
+
 /// Parses a `POST /devices` body into `(id, graph)`. Two forms:
 ///
 /// - `{"id": "...", "builtin": "tokyo20"}` — a named device; see
@@ -298,14 +380,7 @@ pub fn apply_config_overrides(
 ///   coupling list.
 pub fn parse_device_registration(body: &JsonValue) -> Result<(String, CouplingGraph), ApiError> {
     as_object(body)?;
-    let id = body
-        .get("id")
-        .and_then(JsonValue::as_str)
-        .filter(|s| !s.is_empty() && s.len() <= 128 && !s.contains('/'))
-        .ok_or_else(|| {
-            ApiError::bad_request("\"id\" must be a non-empty string without `/` (≤128 chars)")
-        })?
-        .to_string();
+    let id = parse_registry_id(body)?;
 
     if let Some(builtin) = body.get("builtin") {
         let name = builtin
@@ -553,6 +628,53 @@ mod tests {
             .unwrap_err()
             .message
             .contains("odd"));
+    }
+
+    #[test]
+    fn shard_overrides_apply_and_validate() {
+        let base = SabreConfig::default();
+        let body = parse(
+            r#"{"cut_cost": 12.5, "max_refinement_passes": 3,
+                "config": {"seed": 9, "trials": 1}}"#,
+        );
+        let config = apply_shard_overrides(&body, base).unwrap();
+        assert_eq!(config.cut_cost, Some(12.5));
+        assert_eq!(config.max_refinement_passes, 3);
+        assert_eq!(config.sabre.seed, 9);
+        assert_eq!(config.sabre.num_restarts, 1);
+
+        // Defaults survive an empty body.
+        let config = apply_shard_overrides(&parse("{}"), base).unwrap();
+        assert_eq!(config.cut_cost, ShardConfig::default().cut_cost);
+
+        for bad in [
+            r#"{"cut_cost": 0}"#,
+            r#"{"cut_cost": -1.0}"#,
+            r#"{"cut_cost": "high"}"#,
+            r#"{"max_refinement_passes": -1}"#,
+            r#"{"config": {"tirals": 2}}"#,
+        ] {
+            assert!(apply_shard_overrides(&parse(bad), base).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn fleet_registration_parses_and_validates() {
+        let (id, devices) =
+            parse_fleet_registration(&parse(r#"{"id": "f", "devices": ["a", "b"]}"#)).unwrap();
+        assert_eq!(id, "f");
+        assert_eq!(devices, ["a", "b"]);
+
+        for bad in [
+            r#"{"devices": ["a"]}"#,
+            r#"{"id": "f"}"#,
+            r#"{"id": "f", "devices": []}"#,
+            r#"{"id": "f", "devices": ["a", "a"]}"#,
+            r#"{"id": "f", "devices": [1]}"#,
+            r#"{"id": "x/y", "devices": ["a"]}"#,
+        ] {
+            assert!(parse_fleet_registration(&parse(bad)).is_err(), "{bad}");
+        }
     }
 
     #[test]

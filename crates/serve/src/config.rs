@@ -34,6 +34,12 @@ pub struct ServeConfig {
     pub retry_after_secs: u32,
     /// Maximum accepted request-body size; larger bodies get `413`.
     pub max_body_bytes: usize,
+    /// Keep-alive bound: how many requests one connection may issue
+    /// before the server answers `Connection: close` and hangs up. `1`
+    /// disables connection reuse entirely (every response closes); the
+    /// cap keeps a single chatty client from pinning a connection thread
+    /// forever.
+    pub max_requests_per_connection: usize,
     /// Baseline [`SabreConfig`] for every request; per-request `"config"`
     /// overrides are applied on top of this.
     pub default_config: SabreConfig,
@@ -50,6 +56,7 @@ impl Default for ServeConfig {
             queue_capacity: 128,
             retry_after_secs: 1,
             max_body_bytes: 4 << 20,
+            max_requests_per_connection: 64,
             default_config: SabreConfig::default(),
         }
     }
@@ -68,6 +75,9 @@ impl ServeConfig {
         }
         if self.max_body_bytes == 0 {
             return Err("max_body_bytes must be ≥ 1".into());
+        }
+        if self.max_requests_per_connection == 0 {
+            return Err("max_requests_per_connection must be ≥ 1".into());
         }
         self.default_config
             .validate()
@@ -92,6 +102,18 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(c.validate().unwrap_err().contains("queue_capacity"));
+    }
+
+    #[test]
+    fn zero_requests_per_connection_rejected() {
+        let c = ServeConfig {
+            max_requests_per_connection: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .contains("max_requests_per_connection"));
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! Hand-rolled HTTP/1.1, scoped to exactly what the service needs: parse
-//! one request (request line, headers, `Content-Length` body) and write
-//! one response, then close the connection.
+//! requests (request line, headers, `Content-Length` body) and write
+//! responses.
 //!
 //! No crates.io in this environment, so this replaces `hyper`/`axum`.
+//! **Keep-alive is supported**: [`read_request_buffered`] carries bytes
+//! the client pipelined past one request's body over to the next read,
+//! and a [`Response`] marked [`Response::keep_alive`] advertises
+//! `Connection: keep-alive` instead of the default `close` (the
+//! connection loop in `service.rs` bounds requests per connection).
 //! Deliberate non-features: chunked transfer encoding (rejected with
-//! `411`), keep-alive (every response carries `Connection: close`),
-//! HTTP/2. `Expect: 100-continue` *is* honored because `curl` sends it
-//! for bodies above its threshold.
+//! `411`), HTTP/2. `Expect: 100-continue` *is* honored because `curl`
+//! sends it for bodies above its threshold.
 
 use std::io::{self, Read, Write};
 
@@ -26,6 +30,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.1` (keep-alive by default)
+    /// rather than `HTTP/1.0` (close by default).
+    pub http11: bool,
 }
 
 impl Request {
@@ -52,6 +59,25 @@ impl Request {
     /// (`"/devices/x/noise"` → `["devices", "x", "noise"]`).
     pub fn path_segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Whether the client asked to reuse the connection: an explicit
+    /// `close`/`keep-alive` token in the `Connection` header wins (the
+    /// header is a comma-separated token list, e.g. `close, TE`);
+    /// otherwise HTTP/1.1 defaults to keep-alive and HTTP/1.0 to close.
+    pub fn wants_keep_alive(&self) -> bool {
+        if let Some(value) = self.header("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    return true;
+                }
+            }
+        }
+        self.http11
     }
 }
 
@@ -92,7 +118,8 @@ impl HttpError {
     }
 }
 
-/// Reads one complete request from `stream`.
+/// Reads one complete request from `stream`, discarding any bytes the
+/// client sent past the request's body (single-request connections).
 ///
 /// Honors `Expect: 100-continue` (hence the `Write` bound). The body is
 /// rejected before it is read when `Content-Length` exceeds `max_body`.
@@ -104,7 +131,24 @@ pub fn read_request<S: Read + Write>(
     stream: &mut S,
     max_body: usize,
 ) -> Result<Request, HttpError> {
-    let (head, mut leftover) = read_head(stream)?;
+    let mut carry = Vec::new();
+    read_request_buffered(stream, &mut carry, max_body)
+}
+
+/// [`read_request`] for keep-alive connections: `carry` holds bytes read
+/// past the previous request's body (HTTP/1.1 pipelining) and is
+/// refilled with whatever this read pulls past *its* body, so a
+/// connection loop can parse back-to-back requests without losing data.
+///
+/// # Errors
+///
+/// [`HttpError`] describing the malformation or I/O failure.
+pub fn read_request_buffered<S: Read + Write>(
+    stream: &mut S,
+    carry: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let (head, mut leftover) = read_head(stream, std::mem::take(carry))?;
     let head_text = std::str::from_utf8(&head)
         .map_err(|_| HttpError::BadRequest("header section is not valid UTF-8".into()))?;
     let mut lines = head_text.split("\r\n");
@@ -142,6 +186,7 @@ pub fn read_request<S: Read + Write>(
         path: target.split('?').next().unwrap_or(target).to_string(),
         headers,
         body: Vec::new(),
+        http11: version == "HTTP/1.1",
     };
 
     if request_head
@@ -171,9 +216,12 @@ pub fn read_request<S: Read + Write>(
 
     let mut body = leftover.split_off(0);
     // A pipelined client may legally have sent its next request already;
-    // everything past Content-Length belongs to it. The connection closes
-    // after this response, so the excess is simply discarded.
-    body.truncate(content_length);
+    // everything past Content-Length belongs to it. Hand it back through
+    // `carry` so a keep-alive loop parses it as the next request (a
+    // single-request caller simply drops it).
+    if body.len() > content_length {
+        *carry = body.split_off(content_length);
+    }
     while body.len() < content_length {
         let mut chunk = [0u8; 4096];
         let want = (content_length - body.len()).min(chunk.len());
@@ -190,11 +238,12 @@ pub fn read_request<S: Read + Write>(
     })
 }
 
-/// Reads up to and including the `\r\n\r\n` header terminator; returns the
-/// head (without the terminator) and any body bytes already pulled from
-/// the socket.
-fn read_head<S: Read>(stream: &mut S) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+/// Reads up to and including the `\r\n\r\n` header terminator, starting
+/// from any bytes already buffered off the socket (`carried`); returns
+/// the head (without the terminator) and any body bytes already pulled.
+fn read_head<S: Read>(stream: &mut S, carried: Vec<u8>) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf = carried;
+    buf.reserve(1024);
     loop {
         if let Some(end) = find_terminator(&buf) {
             let rest = buf.split_off(end + 4);
@@ -222,13 +271,16 @@ fn find_terminator(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// One response, written with `Connection: close` and `Content-Length`.
+/// One response, written with an explicit `Content-Length` and a
+/// `Connection` header: `close` by default, `keep-alive` after
+/// [`Response::keep_alive`].
 #[derive(Clone, Debug)]
 pub struct Response {
     status: u16,
     content_type: &'static str,
     extra_headers: Vec<(String, String)>,
     body: Vec<u8>,
+    close: bool,
 }
 
 impl Response {
@@ -239,6 +291,7 @@ impl Response {
             content_type: "application/json",
             extra_headers: Vec::new(),
             body: body.to_compact().into_bytes(),
+            close: true,
         }
     }
 
@@ -249,6 +302,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             extra_headers: Vec::new(),
             body: body.into().into_bytes(),
+            close: true,
         }
     }
 
@@ -261,6 +315,18 @@ impl Response {
     pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
         self.extra_headers.push((name.into(), value.into()));
         self
+    }
+
+    /// Marks the response `Connection: keep-alive`: the connection loop
+    /// will read another request instead of closing.
+    pub fn keep_alive(mut self) -> Response {
+        self.close = false;
+        self
+    }
+
+    /// Whether this response closes the connection.
+    pub fn closes_connection(&self) -> bool {
+        self.close
     }
 
     /// The status code.
@@ -280,11 +346,12 @@ impl Response {
     /// Propagates I/O errors from `w`.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" }
         );
         for (name, value) in &self.extra_headers {
             head.push_str(name);
@@ -419,13 +486,56 @@ mod tests {
 
     #[test]
     fn pipelined_followup_request_is_discarded() {
-        // HTTP/1.1 permits pipelining; the server answers the first
-        // request and closes, so the buffered second request is dropped.
+        // HTTP/1.1 permits pipelining; a single-request read answers the
+        // first request and drops the buffered second one.
         let raw =
             b"POST /route HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n";
         let req = read_request(&mut Duplex::new(raw), 1024).unwrap();
         assert_eq!(req.path, "/route");
         assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn buffered_reads_carry_pipelined_requests_forward() {
+        let raw =
+            b"POST /route HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n";
+        let mut duplex = Duplex::new(raw);
+        let mut carry = Vec::new();
+        let first = read_request_buffered(&mut duplex, &mut carry, 1024).unwrap();
+        assert_eq!(first.path, "/route");
+        assert_eq!(first.body, b"body");
+        assert!(carry.starts_with(b"GET /healthz"));
+        let second = read_request_buffered(&mut duplex, &mut carry, 1024).unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(second.body.is_empty());
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_header() {
+        let req = |raw: &[u8]| read_request(&mut Duplex::new(raw), 1024).unwrap();
+        assert!(req(b"GET /healthz HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET /healthz HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(req(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_keep_alive());
+        // The header is a token list: an explicit token wins wherever it
+        // appears, unknown tokens fall through to the version default.
+        assert!(!req(b"GET /healthz HTTP/1.1\r\nConnection: close, TE\r\n\r\n").wants_keep_alive());
+        assert!(
+            req(b"GET /healthz HTTP/1.0\r\nConnection: TE, Keep-Alive\r\n\r\n").wants_keep_alive()
+        );
+        assert!(req(b"GET /healthz HTTP/1.1\r\nConnection: TE\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_response_advertises_it() {
+        let resp = Response::text(200, "ok").keep_alive();
+        assert!(!resp.closes_connection());
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
     }
 
     #[test]

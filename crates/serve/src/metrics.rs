@@ -20,10 +20,14 @@ use sabre::DeviceCacheStats;
 pub struct Metrics {
     /// `POST /route` requests admitted or rejected.
     pub requests_route: AtomicU64,
+    /// `POST /route_sharded` requests admitted or rejected.
+    pub requests_sharded: AtomicU64,
     /// `POST /transpile_batch` requests admitted or rejected.
     pub requests_batch: AtomicU64,
     /// `POST /devices` registrations.
     pub requests_devices: AtomicU64,
+    /// `POST /fleets` registrations.
+    pub requests_fleets: AtomicU64,
     /// `POST /devices/{id}/noise` refreshes.
     pub requests_noise: AtomicU64,
     /// `GET /healthz` probes.
@@ -61,6 +65,8 @@ pub struct GaugeSnapshot {
     pub workers: usize,
     /// Registered devices.
     pub devices: usize,
+    /// Registered fleets.
+    pub fleets: usize,
     /// Whether shutdown has begun.
     pub draining: bool,
 }
@@ -126,6 +132,13 @@ impl Metrics {
         );
         metric(
             &mut out,
+            "fleets_registered",
+            "gauge",
+            "Fleets currently registered.",
+            gauges.fleets as u64,
+        );
+        metric(
+            &mut out,
             "draining",
             "gauge",
             "1 once shutdown has begun.",
@@ -140,8 +153,10 @@ impl Metrics {
         let _ = writeln!(out, "# TYPE sabre_serve_requests_total counter");
         for (endpoint, counter) in [
             ("route", &self.requests_route),
+            ("route_sharded", &self.requests_sharded),
             ("transpile_batch", &self.requests_batch),
             ("devices", &self.requests_devices),
+            ("fleets", &self.requests_fleets),
             ("noise", &self.requests_noise),
             ("healthz", &self.requests_healthz),
             ("metrics", &self.requests_metrics),
@@ -288,6 +303,7 @@ mod tests {
                 queue_capacity: 8,
                 workers: 4,
                 devices: 1,
+                fleets: 0,
                 draining: false,
             },
             DeviceCacheStats::default(),
@@ -313,6 +329,7 @@ mod tests {
                 queue_capacity: 1,
                 workers: 0,
                 devices: 0,
+                fleets: 0,
                 draining: true,
             },
             DeviceCacheStats::default(),

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use sabre::{transpile_batch_cached, DeviceCache, SabreConfig, TranspileOptions};
 use sabre_circuit::Circuit;
 use sabre_json::JsonValue;
+use sabre_shard::{route_sharded, Fleet, ShardConfig};
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::CouplingGraph;
 
@@ -48,6 +49,10 @@ use crate::ServeConfig;
 const CONNECTION_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
 /// Per-connection socket read timeout (slow-client guard).
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a kept-alive connection may sit idle between requests before
+/// the server hangs up — kept below [`CONNECTION_DRAIN_TIMEOUT`] so idle
+/// keep-alive clients cannot stall a graceful shutdown.
+const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Why [`crate::start`] failed.
 #[derive(Debug)]
@@ -97,6 +102,13 @@ enum JobKind {
         graph: Arc<CouplingGraph>,
         circuits: Vec<Circuit>,
         options: TranspileOptions,
+        include_physical: bool,
+    },
+    Sharded {
+        /// `(device id, graph, noise)` snapshots, in fleet order.
+        members: Vec<(String, Arc<CouplingGraph>, Option<NoiseModel>)>,
+        circuit: Circuit,
+        config: ShardConfig,
         include_physical: bool,
     },
 }
@@ -174,6 +186,8 @@ struct RoutingService {
     config: ServeConfig,
     cache: DeviceCache,
     devices: RwLock<HashMap<String, RegisteredDevice>>,
+    /// Named fleets: ordered device-id lists for `POST /route_sharded`.
+    fleets: RwLock<HashMap<String, Vec<String>>>,
     queue: BoundedQueue<Job>,
     metrics: Metrics,
     connections: ConnTracker,
@@ -187,6 +201,7 @@ impl RoutingService {
             config,
             cache: DeviceCache::new(),
             devices: RwLock::new(HashMap::new()),
+            fleets: RwLock::new(HashMap::new()),
             queue,
             metrics: Metrics::default(),
             connections: ConnTracker::default(),
@@ -200,6 +215,7 @@ impl RoutingService {
             queue_capacity: self.queue.capacity(),
             workers: self.config.workers,
             devices: self.devices.read().expect("device registry poisoned").len(),
+            fleets: self.fleets.read().expect("fleet registry poisoned").len(),
             draining: self.draining.load(Ordering::Relaxed),
         }
     }
@@ -378,35 +394,69 @@ fn accept_loop(listener: TcpListener, service: &Arc<RoutingService>) {
     }
 }
 
+/// Serves up to `max_requests_per_connection` requests on one connection
+/// (HTTP/1.1 keep-alive): bytes pipelined past one request carry over to
+/// the next read, and the final allowed response — or any response the
+/// client negotiated down, or one sent while draining — says
+/// `Connection: close`.
 fn handle_connection(service: &Arc<RoutingService>, mut stream: TcpStream) {
     use std::io::Read as _;
 
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    match http::read_request(&mut stream, service.config.max_body_bytes) {
-        Ok(request) => {
-            let response = dispatch(service, &request);
-            let _ = response.write_to(&mut stream);
-        }
-        Err(error) => {
-            let Some(response) = error.response() else {
-                return; // peer vanished; nothing to write
-            };
-            let _ = response.write_to(&mut stream);
-            // The request was rejected before its body was consumed (e.g.
-            // 413). Closing now would RST the connection and destroy the
-            // response before the client reads it — drain what the client
-            // is still sending. Both a wall-clock deadline and a byte cap
-            // bound the drain (the per-read timeout alone would let a
-            // slow-drip client pin this thread forever).
-            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-            let deadline = Instant::now() + Duration::from_secs(2);
-            let mut drained = 0usize;
-            let mut sink = [0u8; 4096];
-            while drained < 1 << 20 && Instant::now() < deadline {
-                match stream.read(&mut sink) {
-                    Ok(n) if n > 0 => drained += n,
-                    _ => break,
+    let mut carry = Vec::new();
+    for served in 1..=service.config.max_requests_per_connection {
+        match http::read_request_buffered(&mut stream, &mut carry, service.config.max_body_bytes) {
+            Ok(request) => {
+                let keep = request.wants_keep_alive()
+                    && served < service.config.max_requests_per_connection
+                    && !service.draining.load(Ordering::Acquire);
+                let mut response = dispatch(service, &request);
+                if keep {
+                    response = response.keep_alive();
                 }
+                if response.write_to(&mut stream).is_err() || !keep {
+                    return;
+                }
+                // Between requests, idle time is bounded tighter than the
+                // in-request read timeout so parked keep-alive clients
+                // release this thread (and never stall shutdown's drain).
+                // The wait is a 1-byte peek: once the next request's first
+                // bytes arrive, the full in-request timeout is restored so
+                // slow but live clients get the same budget as a fresh
+                // connection. Pipelined bytes already in `carry` skip the
+                // wait entirely.
+                if carry.is_empty() {
+                    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE_TIMEOUT));
+                    match stream.peek(&mut [0u8; 1]) {
+                        Ok(n) if n > 0 => {}
+                        _ => return, // idle timeout or EOF: close quietly
+                    }
+                    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                }
+            }
+            Err(error) => {
+                let Some(response) = error.response() else {
+                    return; // peer vanished or went idle; nothing to write
+                };
+                let _ = response.write_to(&mut stream);
+                // The request was rejected before its body was consumed
+                // (e.g. 413). Closing now would RST the connection and
+                // destroy the response before the client reads it — drain
+                // what the client is still sending. Both a wall-clock
+                // deadline and a byte cap bound the drain (the per-read
+                // timeout alone would let a slow-drip client pin this
+                // thread forever).
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let deadline = Instant::now() + Duration::from_secs(2);
+                let mut drained = 0usize;
+                let mut sink = [0u8; 4096];
+                while drained < 1 << 20 && Instant::now() < deadline {
+                    match stream.read(&mut sink) {
+                        Ok(n) if n > 0 => drained += n,
+                        _ => break,
+                    }
+                }
+                return;
             }
         }
     }
@@ -433,15 +483,28 @@ fn dispatch(service: &Arc<RoutingService>, request: &Request) -> Response {
             Metrics::add(&m.requests_noise, 1);
             refresh_noise(service, id, request)
         }
+        ("GET", ["fleets"]) => list_fleets(service),
+        ("POST", ["fleets"]) => {
+            Metrics::add(&m.requests_fleets, 1);
+            register_fleet(service, request)
+        }
         ("POST", ["route"]) => {
             Metrics::add(&m.requests_route, 1);
             admit_route(service, request)
+        }
+        ("POST", ["route_sharded"]) => {
+            Metrics::add(&m.requests_sharded, 1);
+            admit_sharded(service, request)
         }
         ("POST", ["transpile_batch"]) => {
             Metrics::add(&m.requests_batch, 1);
             admit_batch(service, request)
         }
-        (_, ["healthz" | "metrics" | "route" | "transpile_batch" | "devices"])
+        (
+            _,
+            ["healthz" | "metrics" | "route" | "route_sharded" | "transpile_batch" | "devices"
+            | "fleets"],
+        )
         | (_, ["devices", _, "noise"]) => Response::error(405, "method not allowed on this path"),
         _ => Response::error(404, "no such endpoint"),
     }
@@ -462,6 +525,15 @@ fn healthz(service: &RoutingService) -> Response {
                     .devices
                     .read()
                     .expect("device registry poisoned")
+                    .len()
+                    .into(),
+            ),
+            (
+                "fleets",
+                service
+                    .fleets
+                    .read()
+                    .expect("fleet registry poisoned")
                     .len()
                     .into(),
             ),
@@ -579,6 +651,141 @@ fn refresh_noise(service: &RoutingService, id: &str, request: &Request) -> Respo
         200,
         &JsonValue::object([("id", id.into()), ("noise_fingerprint", fingerprint.into())]),
     )
+}
+
+/// `POST /fleets`: names an ordered list of registered devices so
+/// `/route_sharded` requests can reference the group by one id. Device
+/// graphs are resolved at request time, so a later re-registration or
+/// calibration refresh is picked up automatically.
+fn register_fleet(service: &RoutingService, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let (id, device_ids) = match api::parse_fleet_registration(&body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    // Every named device must exist now — a typo should fail loudly at
+    // registration, not at the first routing request.
+    for device in &device_ids {
+        if let Err(e) = service.device(device) {
+            return Response::error(e.status, &e.message);
+        }
+    }
+    let body = JsonValue::object([
+        ("id", id.as_str().into()),
+        (
+            "devices",
+            device_ids
+                .iter()
+                .map(|d| JsonValue::from(d.as_str()))
+                .collect(),
+        ),
+    ]);
+    let replaced = service
+        .fleets
+        .write()
+        .expect("fleet registry poisoned")
+        .insert(id, device_ids)
+        .is_some();
+    Response::json(if replaced { 200 } else { 201 }, &body)
+}
+
+fn list_fleets(service: &RoutingService) -> Response {
+    let fleets = service.fleets.read().expect("fleet registry poisoned");
+    let mut entries: Vec<(&String, &Vec<String>)> = fleets.iter().collect();
+    entries.sort_by_key(|(id, _)| id.as_str());
+    Response::json(
+        200,
+        &JsonValue::object([(
+            "fleets",
+            entries
+                .into_iter()
+                .map(|(id, devices)| {
+                    JsonValue::object([
+                        ("id", id.as_str().into()),
+                        (
+                            "devices",
+                            devices
+                                .iter()
+                                .map(|d| JsonValue::from(d.as_str()))
+                                .collect(),
+                        ),
+                    ])
+                })
+                .collect(),
+        )]),
+    )
+}
+
+fn admit_sharded(service: &RoutingService, request: &Request) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let kind = match parse_sharded_request(service, &body) {
+        Ok(kind) => kind,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    submit(service, kind)
+}
+
+/// Resolves a `/route_sharded` body: the member devices (either a
+/// registered `"fleet"` id or an inline `"devices"` list), the circuit,
+/// and the shard configuration.
+fn parse_sharded_request(service: &RoutingService, body: &JsonValue) -> Result<JobKind, ApiError> {
+    api::as_object(body)?;
+    let device_ids: Vec<String> = match (body.get("fleet"), body.get("devices")) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad_request(
+                "give either \"fleet\" or \"devices\", not both",
+            ));
+        }
+        (Some(fleet), None) => {
+            let id = fleet
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("\"fleet\" must name a registered fleet"))?;
+            service
+                .fleets
+                .read()
+                .expect("fleet registry poisoned")
+                .get(id)
+                .cloned()
+                .ok_or_else(|| {
+                    ApiError::not_found(format!("unknown fleet `{id}` (register via POST /fleets)"))
+                })?
+        }
+        (None, Some(devices)) => api::parse_device_id_list(devices)?,
+        (None, None) => {
+            return Err(ApiError::bad_request(
+                "missing \"fleet\" (registered fleet id) or \"devices\" (device id list)",
+            ));
+        }
+    };
+    let ignore_noise = body.get("ignore_noise").and_then(JsonValue::as_bool) == Some(true);
+    let members = device_ids
+        .into_iter()
+        .map(|id| {
+            let (graph, noise) = service.device(&id)?;
+            Ok((id, graph, if ignore_noise { None } else { noise }))
+        })
+        .collect::<Result<Vec<_>, ApiError>>()?;
+    let circuit = api::parse_circuit(
+        body.get("circuit")
+            .ok_or_else(|| ApiError::bad_request("missing \"circuit\""))?,
+    )?;
+    let config = api::apply_shard_overrides(body, service.config.default_config)?;
+    let include_physical = body
+        .get("include_physical")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    Ok(JobKind::Sharded {
+        members,
+        circuit,
+        config,
+        include_physical,
+    })
 }
 
 fn admit_route(service: &RoutingService, request: &Request) -> Response {
@@ -768,6 +975,67 @@ fn execute(service: &RoutingService, kind: &JobKind) -> Response {
                 fields.push((
                     "physical_qasm",
                     sabre_qasm::to_qasm(&result.best.physical).into(),
+                ));
+            }
+            Response::json(200, &JsonValue::object(fields))
+        }
+        JobKind::Sharded {
+            members,
+            circuit,
+            config,
+            include_physical,
+        } => {
+            let mut fleet = Fleet::new();
+            let noise_aware = members.iter().any(|(_, _, noise)| noise.is_some());
+            for (id, graph, noise) in members {
+                let registered = match noise {
+                    Some(noise) => fleet.register_with_noise(id, graph.clone(), noise.clone()),
+                    None => fleet.register(id, graph.clone()),
+                };
+                if let Err(e) = registered {
+                    return Response::error(422, &format!("sharded routing failed: {e}"));
+                }
+            }
+            let plan = match route_sharded(circuit, &fleet, config, &service.cache) {
+                Ok(plan) => plan,
+                Err(e) => return Response::error(422, &format!("sharded routing failed: {e}")),
+            };
+            // The verifier is O(gates): run it on every response so a
+            // served plan is never an unproven plan.
+            if let Err(e) = plan.verify(circuit, &fleet) {
+                return Response::error(500, &format!("plan failed verification: {e}"));
+            }
+            for shard in &plan.shards {
+                service.metrics.record_routing(
+                    shard.result.elapsed.as_nanos(),
+                    shard.result.total_search_steps(),
+                    shard.result.ns_per_step(),
+                );
+            }
+            Metrics::add(&service.metrics.circuits_routed, 1);
+            let mut fields = vec![
+                (
+                    "fleet",
+                    fleet
+                        .members()
+                        .iter()
+                        .map(|m| JsonValue::from(m.id()))
+                        .collect(),
+                ),
+                ("noise_aware", noise_aware.into()),
+                ("seed", config.sabre.seed.into()),
+                ("verified", true.into()),
+                ("plan", plan.to_json()),
+            ];
+            if *include_physical {
+                fields.push((
+                    "shards_physical_qasm",
+                    plan.shards
+                        .iter()
+                        .map(|shard| {
+                            JsonValue::from(sabre_qasm::to_qasm(&shard.result.best.physical))
+                        })
+                        .collect(),
                 ));
             }
             Response::json(200, &JsonValue::object(fields))

@@ -1,0 +1,234 @@
+//! The result of sharded routing: per-shard routed circuits plus the
+//! explicit cross-shard cut schedule.
+
+use std::fmt;
+use std::time::Duration;
+
+use sabre::SabreResult;
+use sabre_circuit::{Gate, Qubit};
+use sabre_json::JsonValue;
+use sabre_verify::{verify_sharded, CutView, ShardView, ShardedReport, VerifyError};
+
+use crate::Fleet;
+
+/// One shard of a [`ShardedPlan`]: which device hosts it, which logical
+/// qubits it carries, and the routed artifact.
+#[derive(Clone, Debug)]
+pub struct ShardRoute {
+    /// Fleet member id of the device this shard routed on.
+    pub member: String,
+    /// Index of that member in the fleet's registration order.
+    pub fleet_index: usize,
+    /// Global logical qubits hosted, sorted ascending; shard-local wire
+    /// `i` carries `logical_qubits[i]`.
+    pub logical_qubits: Vec<Qubit>,
+    /// The full routing result for the shard's local sub-circuit.
+    pub result: SabreResult,
+}
+
+/// One cross-shard two-qubit gate of the cut schedule.
+///
+/// The positions define the plan's synchronization contract: the gate
+/// runs after the first `pos_a` logical gates of shard `shard_a`'s local
+/// stream (and `pos_b` of `shard_b`'s) and before the rest. An executor
+/// realizes a cut however its interconnect works — teleportation, an
+/// optical link, circuit knitting — the plan only prices and places it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CutGate {
+    /// The original gate, on global logical wires.
+    pub gate: Gate,
+    /// Shard hosting the first operand.
+    pub shard_a: usize,
+    /// Local gates of `shard_a` preceding this cut in program order.
+    pub pos_a: usize,
+    /// Shard hosting the second operand.
+    pub shard_b: usize,
+    /// Local gates of `shard_b` preceding this cut in program order.
+    pub pos_b: usize,
+}
+
+/// A complete sharded routing: every logical qubit placed on one fleet
+/// member, every intra-shard gate routed onto that member's coupling
+/// graph, every cross-shard gate scheduled with a modeled cost.
+///
+/// Produced by [`crate::route_sharded`]; proved faithful by
+/// [`ShardedPlan::verify`].
+#[derive(Clone, Debug)]
+pub struct ShardedPlan {
+    /// Name of the input circuit.
+    pub circuit_name: String,
+    /// Register size of the input circuit.
+    pub num_qubits: u32,
+    /// The shards, ordered by their device-selection rank.
+    pub shards: Vec<ShardRoute>,
+    /// Cross-shard gates in program order.
+    pub cuts: Vec<CutGate>,
+    /// The **effective** per-cut price the partitioner used: the
+    /// caller's explicit [`crate::ShardConfig::cut_cost`], or the
+    /// auto-derived value (twice the most difficult selected device's
+    /// score) when none was set.
+    pub cut_cost: f64,
+    /// Wall-clock time of the whole sharded routing call (partition +
+    /// parallel routing + assembly).
+    pub elapsed: Duration,
+}
+
+impl ShardedPlan {
+    /// SWAPs inserted across all shards.
+    pub fn total_swaps(&self) -> usize {
+        self.shards.iter().map(|s| s.result.best.num_swaps).sum()
+    }
+
+    /// Added gates across all shards (3 per SWAP, the paper's accounting).
+    pub fn total_added_gates(&self) -> usize {
+        3 * self.total_swaps()
+    }
+
+    /// Modeled cost of the cut schedule: `cut_cost` per cross-shard gate.
+    /// Comparable against [`ShardedPlan::total_added_gates`] scaled by the
+    /// per-device scores — the quantity the partitioner minimized.
+    pub fn modeled_cut_cost(&self) -> f64 {
+        self.cut_cost * self.cuts.len() as f64
+    }
+
+    /// Proves the plan against its input circuit: per-shard coupling
+    /// legality and replay faithfulness on each member's device, plus
+    /// semantic equivalence of the stitched plan (see
+    /// [`sabre_verify::verify_sharded`]). `fleet` must be the fleet the
+    /// plan was routed against.
+    ///
+    /// # Errors
+    ///
+    /// The first violated property as a [`VerifyError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` does not contain the plan's member indices.
+    pub fn verify(
+        &self,
+        original: &sabre_circuit::Circuit,
+        fleet: &Fleet,
+    ) -> Result<ShardedReport, VerifyError> {
+        let views: Vec<ShardView<'_>> = self
+            .shards
+            .iter()
+            .map(|shard| ShardView {
+                graph: fleet.members()[shard.fleet_index].graph(),
+                logical_qubits: &shard.logical_qubits,
+                routed: &shard.result.best.physical,
+                initial_layout: shard.result.best.initial_layout.logical_to_physical(),
+                final_layout: shard.result.best.final_layout.logical_to_physical(),
+            })
+            .collect();
+        let cuts: Vec<CutView<'_>> = self
+            .cuts
+            .iter()
+            .map(|cut| CutView {
+                gate: &cut.gate,
+                shard_a: cut.shard_a,
+                pos_a: cut.pos_a,
+                shard_b: cut.shard_b,
+                pos_b: cut.pos_b,
+            })
+            .collect();
+        verify_sharded(original, &views, &cuts)
+    }
+
+    /// The plan as a JSON object — the payload `POST /route_sharded`
+    /// returns. **Deterministic** for a fixed seed: wall-clock telemetry
+    /// (`elapsed`) is deliberately excluded so the same routing problem
+    /// serializes to the same bytes on every machine and thread count.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("circuit", self.circuit_name.as_str().into()),
+            ("num_qubits", self.num_qubits.into()),
+            ("num_shards", self.shards.len().into()),
+            ("cut_cost", self.cut_cost.into()),
+            ("cut_gates", self.cuts.len().into()),
+            ("modeled_cut_cost", self.modeled_cut_cost().into()),
+            ("total_swaps", self.total_swaps().into()),
+            ("total_added_gates", self.total_added_gates().into()),
+            (
+                "shards",
+                self.shards
+                    .iter()
+                    .map(|shard| {
+                        JsonValue::object([
+                            ("member", shard.member.as_str().into()),
+                            (
+                                "logical_qubits",
+                                shard
+                                    .logical_qubits
+                                    .iter()
+                                    .map(|q| JsonValue::from(u64::from(q.0)))
+                                    .collect(),
+                            ),
+                            ("routed", shard.result.best.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+            ("cuts", self.cuts.iter().map(cut_to_json).collect()),
+        ])
+    }
+}
+
+impl fmt::Display for ShardedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sharded `{}`: {} qubits over {} shards, {} cuts (modeled cost {:.1}), {} swaps",
+            self.circuit_name,
+            self.num_qubits,
+            self.shards.len(),
+            self.cuts.len(),
+            self.modeled_cut_cost(),
+            self.total_swaps(),
+        )
+    }
+}
+
+/// A cut gate as JSON, in the same gate vocabulary the serving layer
+/// accepts (`{"gate": mnemonic, "qubits": [...], "params": [...]}`) plus
+/// its synchronization positions.
+fn cut_to_json(cut: &CutGate) -> JsonValue {
+    let (mnemonic, qubits, params) = match &cut.gate {
+        Gate::One {
+            kind,
+            qubit,
+            params,
+        } => (kind.mnemonic(), vec![*qubit], params),
+        Gate::Two { kind, a, b, params } => (kind.mnemonic(), vec![*a, *b], params),
+    };
+    JsonValue::object([
+        ("gate", mnemonic.into()),
+        (
+            "qubits",
+            qubits
+                .iter()
+                .map(|q| JsonValue::from(u64::from(q.0)))
+                .collect(),
+        ),
+        (
+            "params",
+            params
+                .as_slice()
+                .iter()
+                .map(|&p| JsonValue::from(p))
+                .collect(),
+        ),
+        (
+            "sync",
+            JsonValue::array([
+                JsonValue::object([
+                    ("shard", cut.shard_a.into()),
+                    ("after_local_gates", cut.pos_a.into()),
+                ]),
+                JsonValue::object([
+                    ("shard", cut.shard_b.into()),
+                    ("after_local_gates", cut.pos_b.into()),
+                ]),
+            ]),
+        ),
+    ])
+}

@@ -13,6 +13,11 @@
 //!    the 35k-gate Table II rows.
 //! 3. [`verify_semantics_small`] — full state-vector equivalence via
 //!    `sabre-sim` for small registers, removing even the SWAP assumption.
+//! 4. [`verify_sharded`] — a multi-device extension of level 2: a circuit
+//!    partitioned across several coupling graphs is checked shard by shard
+//!    (each against its own device) and the stitched plan — local streams
+//!    plus an explicit cross-shard cut schedule — is replayed against the
+//!    original circuit's dependency DAG.
 //!
 //! # Example
 //!
@@ -41,10 +46,12 @@
 
 mod compliance;
 mod replay;
+mod sharded;
 mod simcheck;
 
 pub use compliance::check_compliance;
 pub use replay::{verify_routed, VerificationReport};
+pub use sharded::{verify_sharded, CutView, ShardView, ShardedReport};
 pub use simcheck::{verify_semantics_small, MAX_SIM_QUBITS};
 
 use std::error::Error;
@@ -107,6 +114,33 @@ pub enum VerifyError {
         /// Maximum the simulator accepts.
         max: u32,
     },
+    /// A sharded plan's qubit assignment is not a valid partition of the
+    /// circuit's wires into device-sized shards.
+    ShardAssignment {
+        /// What is wrong with the assignment.
+        reason: String,
+    },
+    /// A sharded plan's cut schedule disagrees with the cross-shard gates
+    /// derived from the original circuit.
+    CutScheduleMismatch {
+        /// Index into the cut schedule.
+        index: usize,
+        /// What disagrees.
+        detail: String,
+    },
+    /// Replaying a sharded plan's stitched gate stream produced a gate
+    /// that is not ready in the original circuit's dependency DAG.
+    StitchMismatch {
+        /// Rendering of the offending merged-stream gate.
+        derived: String,
+    },
+    /// One shard of a sharded plan failed its per-device verification.
+    Shard {
+        /// Which shard.
+        shard: usize,
+        /// The underlying failure.
+        source: Box<VerifyError>,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -144,6 +178,19 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::TooLargeToSimulate { qubits, max } => {
                 write!(f, "{qubits}-qubit register exceeds the {max}-qubit simulation limit")
+            }
+            VerifyError::ShardAssignment { reason } => {
+                write!(f, "invalid shard assignment: {reason}")
+            }
+            VerifyError::CutScheduleMismatch { index, detail } => {
+                write!(f, "cut schedule entry #{index} is wrong: {detail}")
+            }
+            VerifyError::StitchMismatch { derived } => write!(
+                f,
+                "stitched stream replays `{derived}`, which is not ready in the original circuit"
+            ),
+            VerifyError::Shard { shard, source } => {
+                write!(f, "shard {shard} failed verification: {source}")
             }
         }
     }

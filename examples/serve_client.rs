@@ -17,7 +17,10 @@ use sabre_serve::{start, ServeConfig};
 /// One blocking HTTP request; returns `(status, body)`.
 fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("server is listening");
-    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\n");
+    // Reads to EOF, so opt out of keep-alive — otherwise the server
+    // parks the connection until its idle timeout.
+    let mut request =
+        format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n");
     if let Some(body) = body {
         request.push_str(&format!("Content-Length: {}\r\n", body.len()));
     }

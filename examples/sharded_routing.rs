@@ -1,0 +1,100 @@
+//! Multi-device sharded routing end to end: a circuit wider than any
+//! single chip is partitioned across a fleet, routed per shard in
+//! parallel, stitched into a verified plan, and printed as JSON.
+//!
+//! ```text
+//! cargo run --release --example sharded_routing [QASM_DIR]
+//! ```
+//!
+//! With a directory argument, every `.qasm` file in it (loaded in
+//! deterministic sorted order via `sabre_qasm::load_dir`) is routed
+//! against the fleet too. Output is deterministic: `RAYON_NUM_THREADS=1`
+//! and `=8` print identical bytes — CI diffs exactly that.
+
+use sabre::{DeviceCache, SabreConfig};
+use sabre_benchgen::random;
+use sabre_shard::{route_sharded, Fleet, ShardConfig};
+use sabre_topology::devices;
+use sabre_topology::noise::NoiseModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The fleet: two real 20-qubit chips and one noisy 4x5 grid. No
+    // single member can hold more than 20 logical qubits.
+    let tokyo = devices::ibm_q20_tokyo().graph().clone();
+    let grid = devices::grid(4, 5).graph().clone();
+    let mut fleet = Fleet::new();
+    fleet.register("tokyo-a", tokyo.clone())?;
+    fleet.register("tokyo-b", tokyo)?;
+    fleet.register_with_noise(
+        "grid-noisy",
+        grid.clone(),
+        NoiseModel::calibrated(&grid, 0.02, 4.0, 1),
+    )?;
+    println!(
+        "fleet: {} devices, {} qubits total, widest chip {}",
+        fleet.len(),
+        fleet.total_qubits(),
+        fleet.max_member_qubits()
+    );
+    for member in fleet.members() {
+        println!(
+            "  {:<12} {:>2} qubits, difficulty score {:.3}",
+            member.id(),
+            member.graph().num_qubits(),
+            member.score()
+        );
+    }
+
+    // One process-wide cache: every shard's O(N³) preprocessing is paid
+    // once, exactly like the serving layer.
+    let cache = DeviceCache::new();
+    let config = ShardConfig {
+        sabre: SabreConfig {
+            seed: 7,
+            ..SabreConfig::fast()
+        },
+        cut_cost: Some(30.0),
+        ..ShardConfig::default()
+    };
+
+    // 34 logical qubits: wider than every chip, so the plan must shard.
+    let circuit = random::random_circuit(34, 400, 0.8, 42);
+    let plan = route_sharded(&circuit, &fleet, &config, &cache)?;
+    println!("\n{plan}");
+    for shard in &plan.shards {
+        println!(
+            "  shard on {:<12} {:>2} logical qubits, {:>3} swaps, {:>4} local gates",
+            shard.member,
+            shard.logical_qubits.len(),
+            shard.result.best.num_swaps,
+            shard.result.best.physical.num_gates(),
+        );
+    }
+    let report = plan.verify(&circuit, &fleet)?;
+    println!(
+        "verified: {} gates replayed across {} shards, {} cut gates, {} swaps",
+        report.gates_replayed, report.shards, report.cut_gates, report.swaps_replayed
+    );
+
+    // The full machine-readable plan (deterministic bytes; what
+    // `POST /route_sharded` returns under "plan").
+    println!("\n{}", plan.to_json().to_pretty());
+
+    // Optional: route a real QASM corpus against the fleet.
+    if let Some(dir) = std::env::args().nth(1) {
+        println!("\nrouting corpus from `{dir}`:");
+        for circuit in sabre_qasm::load_dir(&dir)? {
+            match route_sharded(&circuit, &fleet, &config, &cache) {
+                Ok(plan) => println!(
+                    "  {:<24} {} shards, {} cuts, {} swaps",
+                    circuit.name(),
+                    plan.shards.len(),
+                    plan.cuts.len(),
+                    plan.total_swaps()
+                ),
+                Err(e) => println!("  {:<24} failed: {e}", circuit.name()),
+            }
+        }
+    }
+    Ok(())
+}

@@ -12,6 +12,7 @@ pub use sabre_circuit;
 pub use sabre_json;
 pub use sabre_qasm;
 pub use sabre_serve;
+pub use sabre_shard;
 pub use sabre_sim;
 pub use sabre_topology;
 pub use sabre_verify;

@@ -1,0 +1,69 @@
+//! Shared loopback HTTP client for the integration suites
+//! (`serve_http.rs`, `sharded_routing.rs`): one connection per request,
+//! reading the response to EOF. Kept in one place so every suite tests
+//! the same client behavior.
+
+// Each test binary uses a subset of these helpers.
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sabre_json::JsonValue;
+
+/// Blocking HTTP/1.1 client for one request: returns status, lower-cased
+/// headers, and the body text. Sends `Connection: close` because it
+/// reads to EOF — without it the keep-alive server would hold the
+/// connection open until its idle timeout.
+pub fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut request =
+        format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+/// `POST path` with a JSON body; panics on a non-JSON response.
+pub fn post_json(addr: SocketAddr, path: &str, body: &JsonValue) -> (u16, JsonValue) {
+    let (status, _, text) = http(addr, "POST", path, Some(&body.to_compact()));
+    let parsed = JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("non-JSON response to {path} ({status}): {e}: {text}"));
+    (status, parsed)
+}
+
+/// `GET path`, expecting a JSON response.
+pub fn get_json(addr: SocketAddr, path: &str) -> (u16, JsonValue) {
+    let (status, _, text) = http(addr, "GET", path, None);
+    (status, JsonValue::parse(&text).expect("JSON response"))
+}

@@ -7,13 +7,18 @@
 //! - a full queue answers `503` with a `Retry-After` header;
 //! - `POST /devices/{id}/noise` changes subsequent routing output without
 //!   a restart;
-//! - graceful shutdown drains every admitted job.
+//! - graceful shutdown drains every admitted job;
+//! - HTTP/1.1 keep-alive serves multiple requests per connection, bounded
+//!   by `max_requests_per_connection`.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::{Duration, Instant};
+
+mod common;
+use common::{get_json, http, post_json};
 
 use sabre::{SabreConfig, SabreRouter};
 use sabre_circuit::{Circuit, Qubit};
@@ -22,56 +27,6 @@ use sabre_qasm::to_qasm;
 use sabre_serve::{start, ServeConfig, ServerHandle};
 use sabre_topology::devices;
 use sabre_topology::noise::NoiseModel;
-
-/// Blocking HTTP/1.1 client for one request: returns status, lower-cased
-/// headers, and the body text.
-fn http(
-    addr: SocketAddr,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> (u16, HashMap<String, String>, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\n");
-    if let Some(body) = body {
-        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
-    }
-    request.push_str("\r\n");
-    if let Some(body) = body {
-        request.push_str(body);
-    }
-    stream.write_all(request.as_bytes()).unwrap();
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).unwrap();
-    let text = String::from_utf8(raw).expect("response is UTF-8");
-    let (head, body) = text.split_once("\r\n\r\n").expect("complete response");
-    let mut lines = head.split("\r\n");
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split(' ').nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let headers = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    (status, headers, body.to_string())
-}
-
-fn post_json(addr: SocketAddr, path: &str, body: &JsonValue) -> (u16, JsonValue) {
-    let (status, _, text) = http(addr, "POST", path, Some(&body.to_compact()));
-    let parsed = JsonValue::parse(&text)
-        .unwrap_or_else(|e| panic!("non-JSON response to {path} ({status}): {e}: {text}"));
-    (status, parsed)
-}
-
-fn get_json(addr: SocketAddr, path: &str) -> (u16, JsonValue) {
-    let (status, _, text) = http(addr, "GET", path, None);
-    (status, JsonValue::parse(&text).expect("JSON response"))
-}
 
 /// Registers a builtin device and asserts success.
 fn register(addr: SocketAddr, id: &str, builtin: &str) {
@@ -504,6 +459,181 @@ fn api_validation_and_partial_success_batches() {
     assert_eq!(devices.len(), 1);
     assert_eq!(devices[0].get("id").unwrap().as_str(), Some("line"));
 
+    handle.shutdown();
+}
+
+/// Sends one request on an already-open stream and reads exactly one
+/// response (keep-alive aware: reads the body by `Content-Length`
+/// instead of waiting for EOF). Returns status, headers, body.
+fn keep_alive_round_trip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, String) {
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    request.push_str("\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream.write_all(request.as_bytes()).unwrap();
+
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed before a complete response head");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(raw[..header_end].to_vec()).unwrap();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers: HashMap<String, String> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .get("content-length")
+        .expect("Content-Length header")
+        .parse()
+        .unwrap();
+    let mut body = raw[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(body.len(), content_length, "no stray bytes past the body");
+    (status, headers, String::from_utf8(body).unwrap())
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "line", "linear:4");
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+
+    // Three requests — health probe, a real routing job, another probe —
+    // all over the same TCP connection.
+    let (status, headers, _) = keep_alive_round_trip(&mut stream, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+
+    let body = route_body("line", &workload(4, 10, (3, 2)), &[("trials", 1u64.into())]);
+    let (status, headers, text) =
+        keep_alive_round_trip(&mut stream, "POST", "/route", Some(&body.to_compact()));
+    assert_eq!(status, 200, "{text}");
+    assert_eq!(
+        headers.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+    let response = JsonValue::parse(&text).unwrap();
+    assert!(response.get("result").is_some());
+
+    let (status, _, _) = keep_alive_round_trip(&mut stream, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+
+    // An explicit `Connection: close` is honored: response says close
+    // and the server hangs up.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    let text = String::from_utf8(rest).unwrap();
+    assert!(text.contains("Connection: close"), "{text}");
+
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_is_bounded_by_the_per_connection_cap() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        max_requests_per_connection: 2,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let (status, headers, _) = keep_alive_round_trip(&mut stream, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+    // Request #2 hits the cap: the server answers but announces close.
+    let (status, headers, _) = keep_alive_round_trip(&mut stream, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(headers.get("connection").map(String::as_str), Some("close"));
+    // The connection really is gone: a third request gets EOF.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: loopback\r\n\r\n")
+        .unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after the cap");
+
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Two pipelined requests in one write; both answered, in order.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: l\r\n\r\n\
+              GET /metrics HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let first = text.find("HTTP/1.1 200").expect("first response");
+    let second = text[first + 1..]
+        .find("HTTP/1.1 200")
+        .expect("second response");
+    assert!(text.contains("\"status\":\"ok\""), "healthz answered");
+    assert!(
+        text[first + second..].contains("sabre_serve_requests_total"),
+        "metrics answered second"
+    );
     handle.shutdown();
 }
 
