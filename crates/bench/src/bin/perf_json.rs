@@ -84,6 +84,10 @@ impl Entry {
 fn corpus() -> Vec<(&'static str, CouplingGraph, &'static str, u32, usize)> {
     let tokyo = devices::ibm_q20_tokyo().graph().clone();
     let grid = devices::grid(10, 10).graph().clone();
+    // 1089 physical qubits: past DENSE_DISTANCE_THRESHOLD, so `measure`
+    // preprocesses through the sparse on-demand engine — this entry pins
+    // the kilo-qubit routing claim (deep circuit, seconds, flat memory).
+    let kilo = devices::grid(33, 33).graph().clone();
     vec![
         ("tokyo20", tokyo.clone(), "small", 12, 60),
         ("tokyo20", tokyo.clone(), "medium", 16, 500),
@@ -91,11 +95,14 @@ fn corpus() -> Vec<(&'static str, CouplingGraph, &'static str, u32, usize)> {
         ("grid10x10", grid.clone(), "small", 30, 150),
         ("grid10x10", grid.clone(), "medium", 60, 800),
         ("grid10x10", grid, "deep", 80, 4_000),
+        ("grid33x33", kilo, "deep", 200, 4_000),
     ]
 }
 
 fn measure(graph: &CouplingGraph, circuit: &Circuit, repeats: usize) -> (usize, usize, u128) {
-    let dist = WeightedDistanceMatrix::hops(graph);
+    // Size-aware preprocessing: dense matrix for the small devices,
+    // sparse row engine for grid33x33 — same values either way.
+    let dist = WeightedDistanceMatrix::auto(graph, |_, _| 1.0);
     let config = SabreConfig::fast();
     let mut walls: Vec<u128> = Vec::with_capacity(repeats);
     let mut swaps = 0;

@@ -7,7 +7,9 @@ use sabre_circuit::interaction::InteractionGraph;
 use sabre_circuit::Circuit;
 use sabre_topology::embedding::{self, Embedding};
 use sabre_topology::noise::NoiseModel;
-use sabre_topology::{CouplingGraph, DistanceMatrix, Qubit, WeightedDistanceMatrix};
+use sabre_topology::{
+    CouplingGraph, DistanceBackend, DistanceMatrix, Qubit, WeightedDistanceMatrix,
+};
 
 use sabre_circuit::DependencyDag;
 
@@ -56,8 +58,10 @@ pub(crate) struct RestartOutcome {
 /// bidirectional traversal, and best-result selection (paper §IV).
 ///
 /// Construction performs the preprocessing of §IV-A once (connectivity
-/// check and Floyd–Warshall distance matrix); the router can then route
-/// any number of circuits against the same device.
+/// check and distance preprocessing — a dense all-pairs matrix up to
+/// [`sabre_topology::DENSE_DISTANCE_THRESHOLD`] qubits, the sparse
+/// on-demand row engine above it); the router can then route any number
+/// of circuits against the same device.
 ///
 /// # Example
 ///
@@ -102,14 +106,37 @@ impl SabreRouter {
     /// - [`RouteError::DisconnectedDevice`] if some physical qubit pairs
     ///   can never interact.
     pub fn new(graph: CouplingGraph, config: SabreConfig) -> Result<Self, RouteError> {
+        Self::with_distance_backend(graph, config, DistanceBackend::Auto)
+    }
+
+    /// Like [`SabreRouter::new`] but with an explicit distance-engine
+    /// choice instead of the size-based auto policy. `DistanceBackend::
+    /// Dense` forces the `O(N²)` all-pairs matrices regardless of device
+    /// size; `DistanceBackend::Sparse` forces the on-demand row engine
+    /// even on small devices. Routing output is bit-identical either way
+    /// (the equivalence suite pins this); the choice only trades memory
+    /// against per-row latency.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SabreRouter::new`].
+    pub fn with_distance_backend(
+        graph: CouplingGraph,
+        config: SabreConfig,
+        backend: DistanceBackend,
+    ) -> Result<Self, RouteError> {
         config
             .validate()
             .map_err(|reason| RouteError::InvalidConfig { reason })?;
         if !graph.is_connected() {
             return Err(RouteError::DisconnectedDevice);
         }
-        let dist = Arc::new(DistanceMatrix::floyd_warshall(&graph));
-        let cost = Arc::new(WeightedDistanceMatrix::hops(&graph));
+        let dist = Arc::new(DistanceMatrix::with_backend(&graph, backend));
+        let cost = Arc::new(WeightedDistanceMatrix::with_backend(
+            &graph,
+            |_, _| 1.0,
+            backend,
+        ));
         Ok(SabreRouter {
             graph: Arc::new(graph),
             dist,
@@ -152,8 +179,28 @@ impl SabreRouter {
         config: SabreConfig,
         noise: &NoiseModel,
     ) -> Result<Self, RouteError> {
-        let mut router = SabreRouter::new(graph, config)?;
-        router.cost = Arc::new(noise_cost_matrix(&router.graph, noise));
+        Self::with_noise_and_backend(graph, config, noise, DistanceBackend::Auto)
+    }
+
+    /// [`SabreRouter::with_noise`] with an explicit distance-engine
+    /// choice — the noise-weighted analogue of
+    /// [`SabreRouter::with_distance_backend`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SabreRouter::new`].
+    pub fn with_noise_and_backend(
+        graph: CouplingGraph,
+        config: SabreConfig,
+        noise: &NoiseModel,
+        backend: DistanceBackend,
+    ) -> Result<Self, RouteError> {
+        let mut router = SabreRouter::with_distance_backend(graph, config, backend)?;
+        router.cost = Arc::new(noise_cost_matrix_with_backend(
+            &router.graph,
+            noise,
+            backend,
+        ));
         Ok(router)
     }
 
@@ -512,10 +559,21 @@ pub(crate) const MIN_EDGE_SWAP_COST: f64 = 1e-9;
 /// and the [`crate::DeviceCache`] refresh path: per-edge SWAP costs
 /// (floored, see [`MIN_EDGE_SWAP_COST`]) normalized by the cheapest edge
 /// so costs stay comparable to hop counts (best coupler ≈ 1 hop), then
-/// closed under Floyd–Warshall.
+/// closed under all-pairs shortest paths (dense below the size
+/// threshold, the sparse on-demand engine above it).
 pub(crate) fn noise_cost_matrix(
     graph: &CouplingGraph,
     noise: &NoiseModel,
+) -> WeightedDistanceMatrix {
+    noise_cost_matrix_with_backend(graph, noise, DistanceBackend::Auto)
+}
+
+/// [`noise_cost_matrix`] with an explicit backend choice (the
+/// equivalence tests force both and compare routing bit-for-bit).
+pub(crate) fn noise_cost_matrix_with_backend(
+    graph: &CouplingGraph,
+    noise: &NoiseModel,
+    backend: DistanceBackend,
 ) -> WeightedDistanceMatrix {
     let edge_cost = |a: Qubit, b: Qubit| noise.swap_cost(a, b).max(MIN_EDGE_SWAP_COST);
     let mut min_cost = graph
@@ -528,7 +586,7 @@ pub(crate) fn noise_cost_matrix(
         // called, but keep the divisor sane anyway.
         min_cost = 1.0;
     }
-    WeightedDistanceMatrix::floyd_warshall(graph, |a, b| edge_cost(a, b) / min_cost)
+    WeightedDistanceMatrix::with_backend(graph, |a, b| edge_cost(a, b) / min_cost, backend)
 }
 
 /// Best = fewest added gates, ties broken by decomposed depth (the paper's

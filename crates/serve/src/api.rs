@@ -41,9 +41,13 @@ impl ApiError {
     }
 }
 
-/// Registration caps: Floyd–Warshall preprocessing is `O(N³)`, so an
-/// unauthenticated request must not be able to demand a 10⁵-qubit device.
-const MAX_DEVICE_QUBITS: u32 = 512;
+/// Registration cap. Preprocessing above
+/// [`sabre_topology::DENSE_DISTANCE_THRESHOLD`] qubits goes through the
+/// sparse on-demand distance engine (`O(N + E)` resident, no all-pairs
+/// matrix), so kilo-qubit devices are fine; the cap only keeps an
+/// unauthenticated request from demanding a 10⁵-qubit registration whose
+/// per-row BFS/Dijkstra work could still tie up a worker.
+const MAX_DEVICE_QUBITS: u32 = 4096;
 /// Gate-count cap per submitted circuit (`/route`) or batch slot.
 const MAX_CIRCUIT_GATES: usize = 1_000_000;
 
@@ -429,7 +433,11 @@ pub fn parse_device_registration(body: &JsonValue) -> Result<(String, CouplingGr
 /// Resolves the builtin device names accepted by `POST /devices`:
 /// the fixed machines `tokyo20`, `qx5`, `qx2`, `falcon27`, and the
 /// parameterized families `linear:<n>`, `ring:<n>`, `star:<n>`,
-/// `complete:<n>`, `grid:<rows>x<cols>` (sizes capped at 512 qubits).
+/// `complete:<n>`, `grid:<rows>x<cols>`, `heavy_hex:<rows>x<cols>`
+/// (sizes capped at 4096 qubits). Construction goes through
+/// [`devices`], whose distance preprocessing switches to the sparse
+/// engine past [`sabre_topology::DENSE_DISTANCE_THRESHOLD`] qubits —
+/// registering `grid:40x40` never allocates an `O(N²)` matrix.
 pub fn builtin_device(name: &str) -> Option<devices::Device> {
     match name {
         "tokyo20" | "ibm_q20_tokyo" => return Some(devices::ibm_q20_tokyo()),
@@ -449,6 +457,19 @@ pub fn builtin_device(name: &str) -> Option<devices::Device> {
             } else {
                 None
             }
+        }
+        "heavy_hex" | "heavy-hex" => {
+            let (rows, cols) = size.split_once('x')?;
+            let (rows, cols): (u32, u32) = (rows.parse().ok()?, cols.parse().ok()?);
+            // Row qubits alone must fit the cap; bridge qubits add at most
+            // ~25% more, checked exactly after construction.
+            if rows >= 1 && cols >= 3 && in_cap(rows.checked_mul(cols)?) {
+                let device = devices::heavy_hex(rows, cols);
+                if device.graph().num_qubits() <= MAX_DEVICE_QUBITS {
+                    return Some(device);
+                }
+            }
+            None
         }
         _ => {
             let n: u32 = size.parse().ok()?;
@@ -710,6 +731,24 @@ mod tests {
         assert!(builtin_device("linear:1").is_none());
         assert!(builtin_device("linear:abc").is_none());
         assert!(builtin_device("mesh:5").is_none());
+    }
+
+    #[test]
+    fn kilo_qubit_builtins_parse_under_the_raised_cap() {
+        // grid:40x40 (1600 qubits) clears the 4096 cap and lands on the
+        // sparse distance engine — the serve_http regression test checks
+        // no O(N²) matrix gets allocated at registration.
+        let grid = builtin_device("grid:40x40").unwrap();
+        assert_eq!(grid.graph().num_qubits(), 1600);
+        assert!(grid.distance_matrix().is_sparse());
+
+        let hex = builtin_device("heavy_hex:22x44").unwrap();
+        assert!(hex.graph().num_qubits() > 1000);
+        assert!(builtin_device("heavy-hex:22x44").is_some());
+        // Row qubits fit but total with bridges must also clear the cap.
+        assert!(builtin_device("heavy_hex:64x64").is_none());
+        assert!(builtin_device("heavy_hex:2x2").is_none()); // too narrow
+        assert!(builtin_device("grid:70x70").is_none()); // 4900 > 4096
     }
 
     #[test]

@@ -36,7 +36,7 @@ use sabre_circuit::Circuit;
 use sabre_json::JsonValue;
 use sabre_shard::{route_sharded, Fleet, ShardConfig};
 use sabre_topology::noise::NoiseModel;
-use sabre_topology::CouplingGraph;
+use sabre_topology::{CouplingGraph, DistanceBackend};
 
 use crate::api::{self, ApiError};
 use crate::http::{self, Request, Response};
@@ -541,6 +541,18 @@ fn healthz(service: &RoutingService) -> Response {
     )
 }
 
+/// Which distance engine the auto policy selects for `graph` —
+/// `"dense"` (all-pairs matrices) or `"sparse"` (on-demand row engine).
+/// Purely a function of device size; mirrored in registration responses
+/// so clients can see the memory mode a device landed on.
+fn distance_engine_name(graph: &CouplingGraph) -> &'static str {
+    if DistanceBackend::Auto.prefers_sparse(graph.num_qubits()) {
+        "sparse"
+    } else {
+        "dense"
+    }
+}
+
 fn list_devices(service: &RoutingService) -> Response {
     let devices = service.devices.read().expect("device registry poisoned");
     let mut entries: Vec<(&String, &RegisteredDevice)> = devices.iter().collect();
@@ -557,6 +569,7 @@ fn list_devices(service: &RoutingService) -> Response {
                         ("num_qubits", device.graph.num_qubits().into()),
                         ("num_edges", device.graph.num_edges().into()),
                         ("noise_aware", device.noise.is_some().into()),
+                        ("distance", distance_engine_name(&device.graph).into()),
                     ])
                 })
                 .collect(),
@@ -574,10 +587,17 @@ fn register_device(service: &RoutingService, request: &Request) -> Response {
         Err(e) => return Response::error(e.status, &e.message),
     };
     // Warm the cache now: this both validates the graph (connectivity) and
-    // moves the O(N³) preprocessing out of the first request's latency.
-    if let Err(e) = service.cache.router(&graph, service.config.default_config) {
-        return Response::error(400, &format!("device rejected: {e}"));
-    }
+    // moves the distance preprocessing out of the first request's latency
+    // (dense all-pairs below the size threshold, sparse engine above it).
+    let router = match service.cache.router(&graph, service.config.default_config) {
+        Ok(router) => router,
+        Err(e) => return Response::error(400, &format!("device rejected: {e}")),
+    };
+    let distance = if router.distance_matrix().is_sparse() {
+        "sparse"
+    } else {
+        "dense"
+    };
     let entry = RegisteredDevice {
         graph: Arc::new(graph),
         noise: None,
@@ -586,6 +606,7 @@ fn register_device(service: &RoutingService, request: &Request) -> Response {
         ("id", id.as_str().into()),
         ("num_qubits", entry.graph.num_qubits().into()),
         ("num_edges", entry.graph.num_edges().into()),
+        ("distance", distance.into()),
     ]);
     let replaced = service
         .devices

@@ -49,17 +49,24 @@ impl FleetMember {
     }
 
     /// The score computation behind [`FleetMember::score`].
+    ///
+    /// Streams one BFS frontier per source instead of materializing an
+    /// all-pairs matrix, so registering a kilo-qubit member costs `O(N)`
+    /// memory. The upper-triangle accumulation order (ascending `a`,
+    /// then ascending `b > a`) matches the dense formulation exactly, so
+    /// scores are bit-identical to summing over `DistanceMatrix::bfs`.
     fn compute_score(graph: &CouplingGraph, noise: Option<&NoiseModel>) -> f64 {
-        let dist = DistanceMatrix::bfs(graph);
-        if !dist.all_finite() {
-            return f64::INFINITY;
-        }
         let n = graph.num_qubits();
         let mut sum = 0.0;
         let mut pairs = 0u64;
         for a in 0..n {
+            let row = graph.bfs_distances(sabre_topology::Qubit(a));
             for b in (a + 1)..n {
-                sum += f64::from(dist.get(sabre_topology::Qubit(a), sabre_topology::Qubit(b)));
+                let d = row[b as usize];
+                if d == DistanceMatrix::UNREACHABLE {
+                    return f64::INFINITY;
+                }
+                sum += f64::from(d);
                 pairs += 1;
             }
         }

@@ -77,9 +77,12 @@ impl Device {
         self.calibration.as_ref()
     }
 
-    /// Convenience: the Floyd–Warshall distance matrix of the device.
+    /// Convenience: the device's hop-distance matrix under the automatic
+    /// dense/sparse policy ([`DistanceMatrix::auto`]) — dense `O(N²)`
+    /// storage for small chips, the on-demand sparse row engine above
+    /// [`crate::DENSE_DISTANCE_THRESHOLD`] qubits.
     pub fn distance_matrix(&self) -> DistanceMatrix {
-        DistanceMatrix::floyd_warshall(&self.graph)
+        DistanceMatrix::auto(&self.graph)
     }
 }
 
@@ -227,6 +230,48 @@ pub fn ibm_falcon_27() -> Device {
     Device::new("ibm-falcon-27", graph)
 }
 
+/// A parametric heavy-hex lattice in the style of IBM's post-Tokyo
+/// devices (Falcon/Eagle/Osprey): `rows` rows of `cols` qubits each with
+/// nearest-neighbor row couplings, adjacent rows bridged through
+/// dedicated *flag* qubits at every fourth column (offset by two on
+/// alternating rows — the brick pattern that keeps the maximum degree at
+/// 3). Qubits `0 .. rows·cols` are the row qubits, row-major; bridge
+/// qubits follow. This is the degree-≤3 kilo-qubit scaling substrate:
+/// `heavy_hex(22, 44)` already exceeds 1000 qubits while
+/// [`ibm_falcon_27`] stays the calibrated 27-qubit instance.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols < 3` (narrower lattices cannot place
+/// the offset bridges and fall apart).
+pub fn heavy_hex(rows: u32, cols: u32) -> Device {
+    assert!(rows > 0, "heavy-hex needs at least one row");
+    assert!(cols >= 3, "heavy-hex rows must be at least 3 qubits wide");
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols.saturating_sub(1) {
+            let idx = r * cols + c;
+            edges.push((idx, idx + 1));
+        }
+    }
+    let mut next_bridge = rows * cols;
+    for r in 0..rows.saturating_sub(1) {
+        // Even row-gaps bridge at columns 0, 4, 8, …; odd ones at 2, 6, ….
+        let offset = if r % 2 == 0 { 0 } else { 2 };
+        let mut c = offset;
+        while c < cols {
+            let top = r * cols + c;
+            let bottom = (r + 1) * cols + c;
+            edges.push((top, next_bridge));
+            edges.push((next_bridge, bottom));
+            next_bridge += 1;
+            c += 4;
+        }
+    }
+    let graph = CouplingGraph::from_edges(next_bridge, edges).expect("generated edges are valid");
+    Device::new(format!("heavy-hex-{rows}x{cols}"), graph)
+}
+
 /// Every fixed-size device in the zoo, for data-driven tests.
 pub fn all_fixed_devices() -> Vec<Device> {
     vec![ibm_q20_tokyo(), ibm_qx5(), ibm_qx2(), ibm_falcon_27()]
@@ -360,5 +405,34 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn tiny_ring_panics() {
         let _ = ring(2);
+    }
+
+    #[test]
+    fn heavy_hex_is_connected_degree_three() {
+        for (rows, cols) in [(1, 3), (2, 5), (3, 9), (5, 12)] {
+            let d = heavy_hex(rows, cols);
+            let g = d.graph();
+            assert!(g.is_connected(), "{} disconnected", d.name());
+            assert!(g.max_degree() <= 3, "{} exceeds degree 3", d.name());
+            assert!(g.num_qubits() >= rows * cols);
+        }
+    }
+
+    #[test]
+    fn heavy_hex_scales_past_a_kilo_qubit() {
+        let d = heavy_hex(22, 44);
+        assert!(
+            d.graph().num_qubits() > 1000,
+            "got {}",
+            d.graph().num_qubits()
+        );
+        assert!(d.graph().is_connected());
+        assert_eq!(d.name(), "heavy-hex-22x44");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 qubits wide")]
+    fn narrow_heavy_hex_panics() {
+        let _ = heavy_hex(4, 2);
     }
 }

@@ -1,15 +1,333 @@
+//! Distance preprocessing: dense all-pairs matrices for small devices, an
+//! on-demand sparse row engine for kilo-qubit ones.
+//!
+//! The paper precomputes all-pairs shortest paths with Floyd–Warshall,
+//! "acceptable for NISQ devices with hundreds of qubits" (§IV-A). At the
+//! 1000+ qubit grids and heavy-hex lattices a production service quotes,
+//! the `O(N²)` matrix (and the `O(N³)` fill) stops being acceptable — so
+//! [`DistanceMatrix`] and [`WeightedDistanceMatrix`] are now *policies*
+//! over two interchangeable backends:
+//!
+//! - **Dense** (`N ≤` [`DENSE_DISTANCE_THRESHOLD`]): the classic
+//!   row-major `N × N` array. `O(N²)` memory, `O(1)` loads, rows are
+//!   plain borrowed slices. Construction is Floyd–Warshall (`O(N³)`),
+//!   `N` BFS sweeps (`O(N·E)`), or `N` Dijkstra runs
+//!   (`O(N·E·log N)`), depending on the constructor.
+//! - **Sparse** (above the threshold): no matrix at all. Each requested
+//!   row is computed on demand — BFS for hop counts, binary-heap
+//!   Dijkstra for weighted costs, `O(E + N log N)` per row — and kept in
+//!   a bounded LRU cache ([`ROW_CACHE_CAPACITY`] rows), so memory stays
+//!   `O(E + capacity·N)` — flat in the number of *pairs* — while a
+//!   router's hot loop (which revisits a small working set of front-layer
+//!   rows) still sees `O(1)`-amortized loads. The weighted backend also
+//!   carries a [`LandmarkOracle`] for `O(k)` distance bounds without any
+//!   row computation.
+//!
+//! Both backends produce **bit-identical values**: the sparse engine's
+//! per-source sweeps are the same algorithms the dense
+//! [`DistanceMatrix::bfs`] / [`WeightedDistanceMatrix::dijkstra`]
+//! constructors run eagerly, so a row is the same `Vec` either way, and
+//! routing on top of them is reproducible across backends. The
+//! [`DistanceMatrix::auto`] / [`WeightedDistanceMatrix::auto`]
+//! constructors pick the backend by device size; everything downstream
+//! (router, cache, service) goes through them.
+
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
 
 use crate::{CouplingGraph, Qubit};
 
-/// All-pairs shortest-path distance matrix `D[][]` (paper §IV-A).
+/// Devices up to this many qubits use the dense all-pairs backend in the
+/// [`DistanceMatrix::auto`] / [`WeightedDistanceMatrix::auto`] policies;
+/// larger devices get the sparse on-demand engine.
 ///
-/// Computed with the Floyd–Warshall algorithm in `O(N³)`, "acceptable for
-/// NISQ devices with hundreds of qubits". Every coupling-graph edge has
-/// length 1, so `D[i][j]` equals the number of SWAPs needed to make qubits
-/// sitting on `Q_i` and `Q_j` adjacent, plus one (the paper ignores the
-/// constant offset, §IV-D1, and so do we — only relative order matters to
-/// the heuristic).
+/// At 128 qubits the dense pair (`u32` hops + `f64` costs) costs
+/// ~196 KiB and fills in well under a millisecond — comfortably the
+/// faster choice, with zero per-lookup overhead. At 1089 qubits
+/// (grid 33×33) the dense pair is ~14 MiB filled by an `O(N³)` sweep,
+/// and at 10⁴ qubits it is ~1.2 GiB — the regime the sparse engine
+/// exists for. Callers that want to force a backend regardless of size
+/// use [`DistanceBackend`] with the `with_backend` constructors.
+pub const DENSE_DISTANCE_THRESHOLD: u32 = 128;
+
+/// Rows held by a sparse engine's LRU cache. Bounds sparse-backend
+/// memory at `O(`[`ROW_CACHE_CAPACITY`]`·N)` regardless of how many
+/// distinct sources are queried; eviction recomputes on the next touch
+/// (one BFS/Dijkstra, `O(E + N log N)`) and can never change a value.
+///
+/// Sized to cover the router's working set: during a routing pass the
+/// queried sources are the physical positions of active gate operands,
+/// so a deep circuit over a few hundred logical qubits keeps a few
+/// hundred rows hot. 1024 rows cost 8 KiB per kilo-qubit of device per
+/// row — ~9 MiB fully populated on a 1089-qubit grid — while a cache
+/// smaller than the working set degrades into recomputing a row per
+/// lookup (measured ~50× slower routing at 256 rows on grid 33×33).
+pub const ROW_CACHE_CAPACITY: usize = 1024;
+
+/// Backend selection for the distance constructors: the automatic
+/// size-thresholded policy, or an explicit override (equivalence tests
+/// pin sparse routing against dense with this; benchmarks force either
+/// side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistanceBackend {
+    /// Dense below [`DENSE_DISTANCE_THRESHOLD`] qubits, sparse above —
+    /// what every production path uses.
+    Auto,
+    /// Always materialize the `O(N²)` matrix.
+    Dense,
+    /// Always use the on-demand row engine, even on tiny devices.
+    Sparse,
+}
+
+impl DistanceBackend {
+    /// Resolves the policy for a device of `num_qubits` qubits: `true`
+    /// means the sparse engine.
+    pub fn prefers_sparse(self, num_qubits: u32) -> bool {
+        match self {
+            DistanceBackend::Auto => num_qubits > DENSE_DISTANCE_THRESHOLD,
+            DistanceBackend::Dense => false,
+            DistanceBackend::Sparse => true,
+        }
+    }
+}
+
+/// One distance row `D[a][·]`, indexed by physical qubit — the return
+/// type of [`DistanceMatrix::row`] and [`WeightedDistanceMatrix::row`].
+///
+/// Dereferences to `&[T]`, so `row[q.index()]`, `row.iter()`, and every
+/// other slice operation work unchanged whichever backend produced it.
+/// Dense backends lend their row as a zero-copy borrow; the sparse
+/// engine hands out a shared handle to the cached row, which keeps the
+/// row alive (and multiple rows usable side by side, as the router's
+/// two-row delta scorer requires) even if the LRU cache evicts it
+/// concurrently.
+#[derive(Clone, Debug)]
+pub struct DistanceRow<'a, T> {
+    repr: RowRepr<'a, T>,
+}
+
+#[derive(Clone, Debug)]
+enum RowRepr<'a, T> {
+    /// A zero-copy view into a dense backend's row-major storage.
+    Borrowed(&'a [T]),
+    /// A shared handle to a sparse engine's cached row.
+    Shared(Arc<[T]>),
+}
+
+impl<T> Deref for DistanceRow<'_, T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match &self.repr {
+            RowRepr::Borrowed(slice) => slice,
+            RowRepr::Shared(arc) => arc,
+        }
+    }
+}
+
+impl<'a, T> DistanceRow<'a, T> {
+    #[inline]
+    fn borrowed(slice: &'a [T]) -> Self {
+        DistanceRow {
+            repr: RowRepr::Borrowed(slice),
+        }
+    }
+
+    #[inline]
+    fn shared(arc: Arc<[T]>) -> Self {
+        DistanceRow {
+            repr: RowRepr::Shared(arc),
+        }
+    }
+}
+
+/// A bounded LRU of computed rows keyed by source qubit. Values are
+/// `Arc`-shared so eviction is safe while callers still hold a
+/// [`DistanceRow`]. Pure cache: hit/miss state never affects the values
+/// anyone observes.
+#[derive(Debug)]
+struct RowCache<T> {
+    tick: u64,
+    rows: HashMap<u32, (u64, Arc<[T]>)>,
+}
+
+impl<T> RowCache<T> {
+    fn new() -> Self {
+        RowCache {
+            tick: 0,
+            rows: HashMap::new(),
+        }
+    }
+
+    fn fetch(&mut self, source: u32, compute: impl FnOnce() -> Vec<T>) -> Arc<[T]> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((stamp, row)) = self.rows.get_mut(&source) {
+            *stamp = tick;
+            return Arc::clone(row);
+        }
+        let row: Arc<[T]> = compute().into();
+        if self.rows.len() >= ROW_CACHE_CAPACITY {
+            // Evict the least-recently used row. Ticks are unique, so the
+            // victim is deterministic; the row itself stays alive for any
+            // caller still holding its Arc.
+            if let Some(&victim) = self
+                .rows
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.rows.remove(&victim);
+            }
+        }
+        self.rows.insert(source, (tick, Arc::clone(&row)));
+        row
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The sparse hop-count engine: the coupling graph plus an LRU of BFS
+/// rows. `O(N + E)` resident, `O(E)` per row miss.
+#[derive(Debug)]
+struct SparseHops {
+    graph: CouplingGraph,
+    cache: Mutex<RowCache<u32>>,
+}
+
+impl SparseHops {
+    fn row(&self, a: Qubit) -> Arc<[u32]> {
+        let mut cache = self.cache.lock().expect("row cache poisoned");
+        cache.fetch(a.0, || self.graph.bfs_distances(a))
+    }
+}
+
+/// The sparse weighted engine: graph, per-edge weights (indexed by dense
+/// edge id), an LRU of Dijkstra rows, and a landmark oracle for `O(k)`
+/// bounds. `O(N + E + k·N)` resident, `O(E + N log N)` per row miss.
+#[derive(Debug)]
+struct SparseWeighted {
+    graph: CouplingGraph,
+    /// Weight of each coupling, indexed by [`CouplingGraph::edge_index`].
+    edge_weights: Arc<[f64]>,
+    cache: Mutex<RowCache<f64>>,
+    oracle: LandmarkOracle,
+}
+
+impl SparseWeighted {
+    fn row(&self, a: Qubit) -> Arc<[f64]> {
+        let mut cache = self.cache.lock().expect("row cache poisoned");
+        cache.fetch(a.0, || dijkstra_row(&self.graph, &self.edge_weights, a))
+    }
+}
+
+/// Min-heap entry for Dijkstra: ordered by cost ascending, ties broken
+/// by qubit index ascending, via reversed `Ord` under `BinaryHeap`'s
+/// max-heap semantics. `total_cmp` keeps the order total (costs pushed
+/// are always finite, but the heap should not be the place that panics).
+struct HeapEntry {
+    cost: f64,
+    node: Qubit,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost.total_cmp(&other.cost).is_eq() && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// One Dijkstra sweep from `source` over per-edge weights: the single
+/// row-producing algorithm shared by the sparse weighted engine, the
+/// dense [`WeightedDistanceMatrix::dijkstra`] constructor, and the
+/// [`LandmarkOracle`] — one implementation, so every path yields
+/// bit-identical rows. `O(E + N log N)` with a binary heap.
+fn dijkstra_row(graph: &CouplingGraph, edge_weights: &[f64], source: Qubit) -> Vec<f64> {
+    let n = graph.num_qubits() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    if n == 0 {
+        return dist;
+    }
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue; // stale entry: a cheaper path was already settled
+        }
+        let neighbors = graph.neighbors(node);
+        let edge_ids = graph.neighbor_edge_ids(node);
+        for (&nb, &eid) in neighbors.iter().zip(edge_ids) {
+            let next = cost + edge_weights[eid as usize];
+            if next < dist[nb.index()] {
+                dist[nb.index()] = next;
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: nb,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// Evaluates, validates, and packs a weight closure into the per-edge-id
+/// array the Dijkstra machinery consumes.
+///
+/// # Panics
+///
+/// Panics if a weight is negative or non-finite (same contract as
+/// [`WeightedDistanceMatrix::floyd_warshall`]).
+fn pack_edge_weights<F>(graph: &CouplingGraph, mut weight: F) -> Vec<f64>
+where
+    F: FnMut(Qubit, Qubit) -> f64,
+{
+    graph
+        .edges()
+        .iter()
+        .map(|&(a, b)| {
+            let w = weight(a, b);
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "edge weights must be finite and ≥ 0"
+            );
+            w
+        })
+        .collect()
+}
+
+/// All-pairs shortest-path distances `D[][]` in SWAP hops (paper §IV-A).
+///
+/// `D[i][j]` equals the number of SWAPs needed to make qubits sitting on
+/// `Q_i` and `Q_j` adjacent, plus one (the paper ignores the constant
+/// offset, §IV-D1, and so do we — only relative order matters to the
+/// heuristic).
+///
+/// Since the kilo-qubit work this is a *policy type*: small devices store
+/// the dense row-major matrix, large ones answer from the sparse
+/// on-demand engine (see the module docs). Values are identical
+/// either way; [`DistanceMatrix::auto`] picks for you.
 ///
 /// # Example
 ///
@@ -17,23 +335,33 @@ use crate::{CouplingGraph, Qubit};
 /// use sabre_topology::{CouplingGraph, DistanceMatrix, Qubit};
 ///
 /// let line = CouplingGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
-/// let d = DistanceMatrix::floyd_warshall(&line);
+/// let d = DistanceMatrix::auto(&line); // 4 qubits → dense
+/// assert!(!d.is_sparse());
 /// assert_eq!(d.get(Qubit(0), Qubit(3)), 3);
 /// assert_eq!(d.get(Qubit(2), Qubit(2)), 0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct DistanceMatrix {
     n: usize,
+    backend: HopBackend,
+}
+
+#[derive(Debug)]
+enum HopBackend {
     /// Row-major `n × n`; `u32::MAX` marks unreachable pairs.
-    data: Vec<u32>,
+    Dense(Vec<u32>),
+    Sparse(SparseHops),
 }
 
 impl DistanceMatrix {
     /// Sentinel for unreachable pairs.
     pub const UNREACHABLE: u32 = u32::MAX;
 
-    /// Computes all-pairs shortest paths with Floyd–Warshall, exactly as the
-    /// paper prescribes in §IV-A.
+    /// Dense all-pairs matrix via Floyd–Warshall, exactly as the paper
+    /// prescribes in §IV-A. `O(N³)` time, `O(N²)` memory — fine for the
+    /// paper's 20-qubit Tokyo, not for kilo-qubit lattices; prefer
+    /// [`DistanceMatrix::auto`] unless you specifically want this
+    /// algorithm.
     pub fn floyd_warshall(graph: &CouplingGraph) -> Self {
         let n = graph.num_qubits() as usize;
         let mut data = vec![Self::UNREACHABLE; n * n];
@@ -62,12 +390,16 @@ impl DistanceMatrix {
                 }
             }
         }
-        DistanceMatrix { n, data }
+        DistanceMatrix {
+            n,
+            backend: HopBackend::Dense(data),
+        }
     }
 
-    /// Computes the same matrix with `N` breadth-first searches, `O(N·E)`.
-    /// Used as a cross-check in tests and as the faster option for sparse
-    /// graphs.
+    /// Dense all-pairs matrix via `N` breadth-first searches, `O(N·E)`
+    /// time, `O(N²)` memory. Each row is exactly what the sparse engine
+    /// would compute on demand — this is the eager twin of
+    /// [`DistanceMatrix::sparse`].
     pub fn bfs(graph: &CouplingGraph) -> Self {
         let n = graph.num_qubits() as usize;
         let mut data = vec![Self::UNREACHABLE; n * n];
@@ -75,7 +407,49 @@ impl DistanceMatrix {
             let dist = graph.bfs_distances(Qubit(i as u32));
             data[i * n..(i + 1) * n].copy_from_slice(&dist);
         }
-        DistanceMatrix { n, data }
+        DistanceMatrix {
+            n,
+            backend: HopBackend::Dense(data),
+        }
+    }
+
+    /// The sparse on-demand engine: no matrix, rows BFS-computed per
+    /// source and LRU-cached. `O(N + E)` resident plus at most
+    /// [`ROW_CACHE_CAPACITY`] cached rows; `O(E)` per row miss, `O(1)`
+    /// per hit. Values are bit-identical to [`DistanceMatrix::bfs`].
+    pub fn sparse(graph: &CouplingGraph) -> Self {
+        DistanceMatrix {
+            n: graph.num_qubits() as usize,
+            backend: HopBackend::Sparse(SparseHops {
+                graph: graph.clone(),
+                cache: Mutex::new(RowCache::new()),
+            }),
+        }
+    }
+
+    /// The production policy: dense ([`DistanceMatrix::bfs`]) up to
+    /// [`DENSE_DISTANCE_THRESHOLD`] qubits, [`DistanceMatrix::sparse`]
+    /// above. Equivalent to
+    /// [`with_backend`](DistanceMatrix::with_backend) with
+    /// [`DistanceBackend::Auto`].
+    pub fn auto(graph: &CouplingGraph) -> Self {
+        Self::with_backend(graph, DistanceBackend::Auto)
+    }
+
+    /// Constructs with an explicit backend choice — the override knob the
+    /// auto policy's threshold is measured against.
+    pub fn with_backend(graph: &CouplingGraph, backend: DistanceBackend) -> Self {
+        if backend.prefers_sparse(graph.num_qubits()) {
+            Self::sparse(graph)
+        } else {
+            Self::bfs(graph)
+        }
+    }
+
+    /// `true` when this matrix answers from the sparse on-demand engine
+    /// (no `O(N²)` allocation exists).
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.backend, HopBackend::Sparse(_))
     }
 
     /// Number of qubits the matrix covers.
@@ -83,29 +457,41 @@ impl DistanceMatrix {
         self.n
     }
 
-    /// The distance `D[a][b]`.
+    /// The distance `D[a][b]`. Dense: one indexed load. Sparse: a row
+    /// fetch (`O(1)` amortized on the LRU, `O(E)` on a miss) plus a load.
     ///
     /// # Panics
     ///
     /// Panics if either index is out of range.
     #[inline]
     pub fn get(&self, a: Qubit, b: Qubit) -> u32 {
-        self.data[a.index() * self.n + b.index()]
+        match &self.backend {
+            HopBackend::Dense(data) => data[a.index() * self.n + b.index()],
+            HopBackend::Sparse(engine) => {
+                assert!(b.index() < self.n, "qubit {b} out of range");
+                engine.row(a)[b.index()]
+            }
+        }
     }
 
-    /// Row `D[a][·]` as a contiguous slice indexed by physical qubit.
-    ///
-    /// The matrix is row-major, so sweeping many targets against one
-    /// source does `len`-checked-once indexed loads over adjacent memory
-    /// instead of a bounds check and multiply per [`DistanceMatrix::get`]
-    /// call — the access pattern the router's candidate sweep wants.
+    /// Row `D[a][·]` indexed by physical qubit — the hot-path view: the
+    /// router's delta scorer resolves every candidate SWAP against one or
+    /// two rows, so a row handle turns the inner loop into contiguous
+    /// indexed loads. Dense rows are zero-copy borrows; sparse rows are
+    /// shared handles served from the LRU (`O(1)` amortized, `O(E)` on a
+    /// cold source).
     ///
     /// # Panics
     ///
     /// Panics if `a` is out of range.
     #[inline]
-    pub fn row(&self, a: Qubit) -> &[u32] {
-        &self.data[a.index() * self.n..(a.index() + 1) * self.n]
+    pub fn row(&self, a: Qubit) -> DistanceRow<'_, u32> {
+        match &self.backend {
+            HopBackend::Dense(data) => {
+                DistanceRow::borrowed(&data[a.index() * self.n..(a.index() + 1) * self.n])
+            }
+            HopBackend::Sparse(engine) => DistanceRow::shared(engine.row(a)),
+        }
     }
 
     /// `true` when `a` and `b` are distinct and directly coupled.
@@ -114,35 +500,127 @@ impl DistanceMatrix {
         self.get(a, b) == 1
     }
 
-    /// Whether every pair is reachable.
+    /// Whether every pair is reachable. Dense: one `O(N²)` scan. Sparse:
+    /// a single BFS connectivity check, `O(N + E)` — no rows are
+    /// materialized or cached.
     pub fn all_finite(&self) -> bool {
-        !self.data.contains(&Self::UNREACHABLE)
+        match &self.backend {
+            HopBackend::Dense(data) => !data.contains(&Self::UNREACHABLE),
+            HopBackend::Sparse(engine) => engine.graph.is_connected(),
+        }
     }
 
-    /// Largest finite distance (the diameter when connected).
+    /// Largest finite distance (the diameter when connected). Dense: one
+    /// `O(N²)` scan. Sparse: streams one BFS per source (`O(N·E)` time,
+    /// `O(N)` memory) without touching the row cache.
     pub fn max_finite(&self) -> u32 {
-        self.data
-            .iter()
-            .copied()
-            .filter(|&d| d != Self::UNREACHABLE)
-            .max()
-            .unwrap_or(0)
+        match &self.backend {
+            HopBackend::Dense(data) => data
+                .iter()
+                .copied()
+                .filter(|&d| d != Self::UNREACHABLE)
+                .max()
+                .unwrap_or(0),
+            HopBackend::Sparse(engine) => {
+                let mut max = 0;
+                for q in 0..self.n {
+                    let row = engine.graph.bfs_distances(Qubit(q as u32));
+                    for d in row {
+                        if d != Self::UNREACHABLE {
+                            max = max.max(d);
+                        }
+                    }
+                }
+                max
+            }
+        }
+    }
+
+    /// Rows currently resident in the sparse engine's LRU (always `0` for
+    /// dense backends) — observability for memory-ceiling tests; never
+    /// exceeds [`ROW_CACHE_CAPACITY`].
+    pub fn cached_rows(&self) -> usize {
+        match &self.backend {
+            HopBackend::Dense(_) => 0,
+            HopBackend::Sparse(engine) => engine.cache.lock().expect("row cache poisoned").len(),
+        }
     }
 }
 
-/// All-pairs shortest paths over **weighted** edges (`f64` costs), used by
-/// the noise-aware routing extension: edge weights are per-coupling SWAP
-/// costs in the log-fidelity domain, so a path's total weight is the
+impl Clone for DistanceMatrix {
+    /// Cloning a sparse matrix clones the graph and starts an empty row
+    /// cache — cache state is pure acceleration, so the clone observes
+    /// identical values from the first query.
+    fn clone(&self) -> Self {
+        match &self.backend {
+            HopBackend::Dense(data) => DistanceMatrix {
+                n: self.n,
+                backend: HopBackend::Dense(data.clone()),
+            },
+            HopBackend::Sparse(engine) => DistanceMatrix {
+                n: self.n,
+                backend: HopBackend::Sparse(SparseHops {
+                    graph: engine.graph.clone(),
+                    cache: Mutex::new(RowCache::new()),
+                }),
+            },
+        }
+    }
+}
+
+impl PartialEq for DistanceMatrix {
+    /// Semantic equality: same size and same distance for every pair,
+    /// regardless of backend. Comparing a sparse matrix materializes its
+    /// rows (`O(N·E)`) — intended for tests, not hot paths.
+    fn eq(&self, other: &Self) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        match (&self.backend, &other.backend) {
+            (HopBackend::Dense(a), HopBackend::Dense(b)) => a == b,
+            _ => (0..self.n).all(|q| {
+                let q = Qubit(q as u32);
+                *self.row(q) == *other.row(q)
+            }),
+        }
+    }
+}
+
+impl Eq for DistanceMatrix {}
+
+/// All-pairs shortest paths over **weighted** edges (`f64` costs), used
+/// by the noise-aware routing extension: edge weights are per-coupling
+/// SWAP costs in the log-fidelity domain, so a path's total weight is the
 /// (negated log) fidelity of swapping along it.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Like [`DistanceMatrix`], this is a policy over a dense array and a
+/// sparse Dijkstra-row engine (see the module docs); the sparse
+/// side additionally carries a [`LandmarkOracle`] for `O(k)` bounds via
+/// [`WeightedDistanceMatrix::estimate_bounds`]. The
+/// [`WeightedDistanceMatrix::dijkstra`] and
+/// [`WeightedDistanceMatrix::sparse`] constructors share one row
+/// algorithm, so dense and sparse values are bit-identical.
+#[derive(Debug)]
 pub struct WeightedDistanceMatrix {
     n: usize,
-    data: Vec<f64>,
+    backend: WeightedBackend,
+}
+
+#[derive(Debug)]
+enum WeightedBackend {
+    /// Row-major `n × n`; `f64::INFINITY` marks unreachable pairs.
+    Dense(Vec<f64>),
+    /// Boxed: the engine (graph + oracle + cache) is far larger than
+    /// the dense variant's `Vec` header.
+    Sparse(Box<SparseWeighted>),
 }
 
 impl WeightedDistanceMatrix {
-    /// Floyd–Warshall over arbitrary non-negative edge weights supplied by
-    /// `weight(a, b)` for each coupling.
+    /// Dense Floyd–Warshall over arbitrary non-negative edge weights
+    /// supplied by `weight(a, b)` for each coupling. `O(N³)` time,
+    /// `O(N²)` memory. Kept as the reference all-pairs algorithm (tests
+    /// pin the Dijkstra machinery against it); production paths go
+    /// through [`WeightedDistanceMatrix::auto`].
     ///
     /// # Panics
     ///
@@ -179,13 +657,107 @@ impl WeightedDistanceMatrix {
                 }
             }
         }
-        WeightedDistanceMatrix { n, data }
+        WeightedDistanceMatrix {
+            n,
+            backend: WeightedBackend::Dense(data),
+        }
+    }
+
+    /// Dense all-pairs matrix built from `N` per-source Dijkstra sweeps,
+    /// `O(N·(E + N log N))` time, `O(N²)` memory. Each row is exactly
+    /// what [`WeightedDistanceMatrix::sparse`] computes on demand — the
+    /// eager twin the auto policy uses below the threshold, so crossing
+    /// the threshold never changes a value's bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is negative or non-finite.
+    pub fn dijkstra<F>(graph: &CouplingGraph, weight: F) -> Self
+    where
+        F: FnMut(Qubit, Qubit) -> f64,
+    {
+        let edge_weights = pack_edge_weights(graph, weight);
+        let n = graph.num_qubits() as usize;
+        let mut data = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            let row = dijkstra_row(graph, &edge_weights, Qubit(i as u32));
+            data[i * n..(i + 1) * n].copy_from_slice(&row);
+        }
+        WeightedDistanceMatrix {
+            n,
+            backend: WeightedBackend::Dense(data),
+        }
+    }
+
+    /// The sparse on-demand engine: per-edge weights packed by edge id,
+    /// Dijkstra rows computed per source and LRU-cached, plus a
+    /// [`LandmarkOracle`] for `O(k)` bounds. `O(N + E + k·N)` resident
+    /// and at most [`ROW_CACHE_CAPACITY`] cached rows; `O(E + N log N)`
+    /// per row miss, `O(1)` per hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is negative or non-finite.
+    pub fn sparse<F>(graph: &CouplingGraph, weight: F) -> Self
+    where
+        F: FnMut(Qubit, Qubit) -> f64,
+    {
+        let edge_weights: Arc<[f64]> = pack_edge_weights(graph, weight).into();
+        let oracle = LandmarkOracle::new(graph, &edge_weights, DEFAULT_LANDMARKS);
+        WeightedDistanceMatrix {
+            n: graph.num_qubits() as usize,
+            backend: WeightedBackend::Sparse(Box::new(SparseWeighted {
+                graph: graph.clone(),
+                edge_weights,
+                cache: Mutex::new(RowCache::new()),
+                oracle,
+            })),
+        }
+    }
+
+    /// The production policy: dense ([`WeightedDistanceMatrix::dijkstra`])
+    /// up to [`DENSE_DISTANCE_THRESHOLD`] qubits,
+    /// [`WeightedDistanceMatrix::sparse`] above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is negative or non-finite.
+    pub fn auto<F>(graph: &CouplingGraph, weight: F) -> Self
+    where
+        F: FnMut(Qubit, Qubit) -> f64,
+    {
+        Self::with_backend(graph, weight, DistanceBackend::Auto)
+    }
+
+    /// Constructs with an explicit backend choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is negative or non-finite.
+    pub fn with_backend<F>(graph: &CouplingGraph, weight: F, backend: DistanceBackend) -> Self
+    where
+        F: FnMut(Qubit, Qubit) -> f64,
+    {
+        if backend.prefers_sparse(graph.num_qubits()) {
+            Self::sparse(graph, weight)
+        } else {
+            Self::dijkstra(graph, weight)
+        }
     }
 
     /// Builds the unweighted (hop-count) matrix as `f64` — what the
-    /// default router uses internally.
+    /// default router uses internally. Dense Floyd–Warshall; prefer
+    /// [`WeightedDistanceMatrix::auto`] with a constant weight for
+    /// size-aware construction (hop distances are integer-valued `f64`s,
+    /// so every construction path agrees bit-for-bit).
     pub fn hops(graph: &CouplingGraph) -> Self {
         Self::floyd_warshall(graph, |_, _| 1.0)
+    }
+
+    /// `true` when this matrix answers from the sparse on-demand engine
+    /// (no `O(N²)` allocation exists).
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.backend, WeightedBackend::Sparse(_))
     }
 
     /// Number of qubits covered.
@@ -194,26 +766,210 @@ impl WeightedDistanceMatrix {
     }
 
     /// The weighted distance between `a` and `b` (`f64::INFINITY` when
-    /// unreachable).
+    /// unreachable). Dense: one indexed load. Sparse: a row fetch
+    /// (`O(1)` amortized, `O(E + N log N)` on a miss) plus a load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
     #[inline]
     pub fn get(&self, a: Qubit, b: Qubit) -> f64 {
-        self.data[a.index() * self.n + b.index()]
+        match &self.backend {
+            WeightedBackend::Dense(data) => data[a.index() * self.n + b.index()],
+            WeightedBackend::Sparse(engine) => {
+                assert!(b.index() < self.n, "qubit {b} out of range");
+                engine.row(a)[b.index()]
+            }
+        }
     }
 
-    /// Row `D[a][·]` as a contiguous `&[f64]` indexed by physical qubit.
-    ///
-    /// This is the hot-path view: the router's delta scorer resolves every
-    /// candidate SWAP's adjusted distances against one or two rows, so a
-    /// row slice turns the inner loop into contiguous indexed loads
-    /// (SIMD-friendly, one bounds check per row instead of one per
-    /// lookup via [`WeightedDistanceMatrix::get`]).
+    /// Row `D[a][·]` indexed by physical qubit — the hot-path view (see
+    /// [`DistanceMatrix::row`]; identical contract, `f64` values).
     ///
     /// # Panics
     ///
     /// Panics if `a` is out of range.
     #[inline]
-    pub fn row(&self, a: Qubit) -> &[f64] {
-        &self.data[a.index() * self.n..(a.index() + 1) * self.n]
+    pub fn row(&self, a: Qubit) -> DistanceRow<'_, f64> {
+        match &self.backend {
+            WeightedBackend::Dense(data) => {
+                DistanceRow::borrowed(&data[a.index() * self.n..(a.index() + 1) * self.n])
+            }
+            WeightedBackend::Sparse(engine) => DistanceRow::shared(engine.row(a)),
+        }
+    }
+
+    /// `[lower, upper]` bounds on the distance `D[a][b]` without loading
+    /// or computing any row. Dense backends return the exact value twice
+    /// (`O(1)`); sparse backends answer from the [`LandmarkOracle`] in
+    /// `O(k)` — the cheap triage for callers (fleet scoring, admission
+    /// control) that need distance *scale*, not the exact value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn estimate_bounds(&self, a: Qubit, b: Qubit) -> (f64, f64) {
+        match &self.backend {
+            WeightedBackend::Dense(data) => {
+                let d = data[a.index() * self.n + b.index()];
+                (d, d)
+            }
+            WeightedBackend::Sparse(engine) => {
+                assert!(a.index() < self.n, "qubit {a} out of range");
+                assert!(b.index() < self.n, "qubit {b} out of range");
+                engine.oracle.bounds(a, b)
+            }
+        }
+    }
+
+    /// Rows currently resident in the sparse engine's LRU (always `0`
+    /// for dense backends) — never exceeds [`ROW_CACHE_CAPACITY`].
+    pub fn cached_rows(&self) -> usize {
+        match &self.backend {
+            WeightedBackend::Dense(_) => 0,
+            WeightedBackend::Sparse(engine) => {
+                engine.cache.lock().expect("row cache poisoned").len()
+            }
+        }
+    }
+}
+
+impl Clone for WeightedDistanceMatrix {
+    /// Cloning a sparse matrix reuses the packed weights and oracle
+    /// (immutable, `Arc`-shared where large) and starts an empty row
+    /// cache — values are unaffected.
+    fn clone(&self) -> Self {
+        match &self.backend {
+            WeightedBackend::Dense(data) => WeightedDistanceMatrix {
+                n: self.n,
+                backend: WeightedBackend::Dense(data.clone()),
+            },
+            WeightedBackend::Sparse(engine) => WeightedDistanceMatrix {
+                n: self.n,
+                backend: WeightedBackend::Sparse(Box::new(SparseWeighted {
+                    graph: engine.graph.clone(),
+                    edge_weights: Arc::clone(&engine.edge_weights),
+                    cache: Mutex::new(RowCache::new()),
+                    oracle: engine.oracle.clone(),
+                })),
+            },
+        }
+    }
+}
+
+impl PartialEq for WeightedDistanceMatrix {
+    /// Semantic equality: same size and bitwise-equal distance for every
+    /// pair, regardless of backend (materializes sparse rows; test-path
+    /// cost).
+    fn eq(&self, other: &Self) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        match (&self.backend, &other.backend) {
+            (WeightedBackend::Dense(a), WeightedBackend::Dense(b)) => a == b,
+            _ => (0..self.n).all(|q| {
+                let q = Qubit(q as u32);
+                *self.row(q) == *other.row(q)
+            }),
+        }
+    }
+}
+
+/// Landmarks kept by the sparse weighted engine's oracle. More landmarks
+/// tighten the bounds at `O(k·N)` memory and `O(k)` per query; 16 keeps
+/// a 10⁴-qubit oracle under 1.3 MiB.
+const DEFAULT_LANDMARKS: usize = 16;
+
+/// An ALT-style landmark distance oracle: `k` landmarks chosen by
+/// farthest-point sampling, each with its exact Dijkstra row stored, give
+/// triangle-inequality bounds on any pair's distance in `O(k)` —
+///
+/// - `lower(a, b) = max_l |d(l, a) − d(l, b)|`
+/// - `upper(a, b) = min_l (d(l, a) + d(l, b))`
+///
+/// without computing a row for either endpoint. The sparse
+/// [`WeightedDistanceMatrix`] consults it via
+/// [`WeightedDistanceMatrix::estimate_bounds`]; bounds are exact
+/// (`lower == upper == d`) whenever `a` or `b` is itself a landmark.
+/// Memory is `O(k·N)`; construction runs `k` Dijkstra sweeps.
+#[derive(Clone, Debug)]
+pub struct LandmarkOracle {
+    landmarks: Vec<Qubit>,
+    /// `rows[i][q]` = exact distance from `landmarks[i]` to `q`.
+    rows: Vec<Arc<[f64]>>,
+}
+
+impl LandmarkOracle {
+    /// Builds an oracle with up to `k` landmarks over `edge_weights`
+    /// (indexed by dense edge id, as packed by the sparse engine).
+    /// Selection is deterministic farthest-point sampling: the first
+    /// landmark is qubit 0, each next one maximizes its minimum distance
+    /// to the chosen set (ties to the lowest index; unreachable qubits
+    /// are never picked).
+    pub(crate) fn new(graph: &CouplingGraph, edge_weights: &[f64], k: usize) -> Self {
+        let n = graph.num_qubits() as usize;
+        let mut oracle = LandmarkOracle {
+            landmarks: Vec::new(),
+            rows: Vec::new(),
+        };
+        if n == 0 || k == 0 {
+            return oracle;
+        }
+        // min_dist[q] = distance from q to its nearest chosen landmark.
+        let mut min_dist = vec![f64::INFINITY; n];
+        let mut next = Qubit(0);
+        for _ in 0..k.min(n) {
+            let row: Arc<[f64]> = dijkstra_row(graph, edge_weights, next).into();
+            for (q, &d) in row.iter().enumerate() {
+                if d < min_dist[q] {
+                    min_dist[q] = d;
+                }
+            }
+            oracle.landmarks.push(next);
+            oracle.rows.push(row);
+            // Farthest remaining qubit; stop if everything reachable is
+            // already a landmark (min_dist 0) or unreachable (infinite).
+            let mut best: Option<(f64, usize)> = None;
+            for (q, &d) in min_dist.iter().enumerate() {
+                if d.is_finite() && d > 0.0 && best.is_none_or(|(bd, _)| d > bd) {
+                    best = Some((d, q));
+                }
+            }
+            match best {
+                Some((_, q)) => next = Qubit(q as u32),
+                None => break,
+            }
+        }
+        oracle
+    }
+
+    /// The chosen landmarks, in selection order.
+    pub fn landmarks(&self) -> &[Qubit] {
+        &self.landmarks
+    }
+
+    /// `(lower, upper)` bounds on `d(a, b)`, `O(k)`. With no landmarks
+    /// (empty graph) the bounds are the vacuous `(0, +∞)`; `(a, a)`
+    /// always answers `(0, 0)`.
+    pub fn bounds(&self, a: Qubit, b: Qubit) -> (f64, f64) {
+        if a == b {
+            return (0.0, 0.0);
+        }
+        let mut lower = 0.0f64;
+        let mut upper = f64::INFINITY;
+        for row in &self.rows {
+            let da = row[a.index()];
+            let db = row[b.index()];
+            if da.is_finite() && db.is_finite() {
+                lower = lower.max((da - db).abs());
+                upper = upper.min(da + db);
+            } else if da.is_finite() != db.is_finite() {
+                // One endpoint reaches this landmark, the other does not:
+                // the pair is disconnected.
+                return (f64::INFINITY, f64::INFINITY);
+            }
+        }
+        (lower, upper)
     }
 }
 
@@ -221,7 +977,7 @@ impl fmt::Display for DistanceMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "distance matrix ({} qubits):", self.n)?;
         for i in 0..self.n {
-            for &d in self.row(Qubit(i as u32)) {
+            for &d in self.row(Qubit(i as u32)).iter() {
                 if d == Self::UNREACHABLE {
                     write!(f, "  ∞")?;
                 } else {
@@ -313,12 +1069,90 @@ mod tests {
     }
 
     #[test]
+    fn sparse_matches_dense_semantically() {
+        let g = CouplingGraph::from_edges(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
+        )
+        .unwrap();
+        let dense = DistanceMatrix::bfs(&g);
+        let sparse = DistanceMatrix::sparse(&g);
+        assert!(sparse.is_sparse());
+        assert!(!dense.is_sparse());
+        assert_eq!(dense, sparse);
+        assert_eq!(sparse, dense);
+        for i in 0..7u32 {
+            for j in 0..7u32 {
+                assert_eq!(
+                    sparse.get(Qubit(i), Qubit(j)),
+                    dense.get(Qubit(i), Qubit(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_policy_follows_threshold() {
+        let small = square();
+        assert!(!DistanceMatrix::auto(&small).is_sparse());
+        assert!(DistanceMatrix::with_backend(&small, DistanceBackend::Sparse).is_sparse());
+        assert!(!WeightedDistanceMatrix::auto(&small, |_, _| 1.0).is_sparse());
+        // A ring just above the threshold flips to sparse.
+        let n = DENSE_DISTANCE_THRESHOLD + 1;
+        let big = CouplingGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap();
+        assert!(DistanceMatrix::auto(&big).is_sparse());
+        assert!(WeightedDistanceMatrix::auto(&big, |_, _| 1.0).is_sparse());
+    }
+
+    #[test]
+    fn sparse_row_cache_is_bounded() {
+        let n = (ROW_CACHE_CAPACITY + 200) as u32;
+        let g = CouplingGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap();
+        let d = DistanceMatrix::sparse(&g);
+        for q in 0..n {
+            let _ = d.get(Qubit(q), Qubit(0));
+        }
+        assert_eq!(d.cached_rows(), ROW_CACHE_CAPACITY);
+        // Eviction never changes values: re-query the very first source.
+        assert_eq!(d.get(Qubit(0), Qubit(n - 1)), n - 1);
+    }
+
+    #[test]
+    fn row_guards_coexist_across_eviction() {
+        let n = (ROW_CACHE_CAPACITY + 8) as u32;
+        let g = CouplingGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap();
+        let d = DistanceMatrix::sparse(&g);
+        let first = d.row(Qubit(0));
+        // Touch enough sources to evict qubit 0's row from the LRU.
+        for q in 1..n {
+            let _ = d.row(Qubit(q));
+        }
+        // The held guard still reads the evicted row's (correct) data.
+        assert_eq!(first[(n - 1) as usize], n - 1);
+        let again = d.row(Qubit(0));
+        assert_eq!(*first, *again);
+    }
+
+    #[test]
     fn disconnected_pairs_are_unreachable() {
         let g = CouplingGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let d = DistanceMatrix::floyd_warshall(&g);
         assert_eq!(d.get(Qubit(0), Qubit(2)), DistanceMatrix::UNREACHABLE);
         assert!(!d.all_finite());
         assert_eq!(d.max_finite(), 1);
+        let s = DistanceMatrix::sparse(&g);
+        assert_eq!(s.get(Qubit(0), Qubit(2)), DistanceMatrix::UNREACHABLE);
+        assert!(!s.all_finite());
+        assert_eq!(s.max_finite(), 1);
     }
 
     #[test]
@@ -327,6 +1161,9 @@ mod tests {
         let d = DistanceMatrix::floyd_warshall(&g);
         assert!(d.all_finite());
         assert_eq!(d.max_finite(), g.diameter().unwrap());
+        let s = DistanceMatrix::sparse(&g);
+        assert!(s.all_finite());
+        assert_eq!(s.max_finite(), g.diameter().unwrap());
     }
 
     #[test]
@@ -343,6 +1180,9 @@ mod tests {
         let d = DistanceMatrix::floyd_warshall(&g);
         assert_eq!(d.num_qubits(), 0);
         assert!(d.all_finite());
+        let s = DistanceMatrix::sparse(&g);
+        assert_eq!(s.num_qubits(), 0);
+        assert!(s.all_finite());
     }
 
     #[test]
@@ -373,6 +1213,58 @@ mod tests {
             }
         });
         assert_eq!(w.get(Qubit(0), Qubit(2)), 2.0);
+        let s = WeightedDistanceMatrix::sparse(&g, |a, b| {
+            if (a, b) == (Qubit(0), Qubit(2)) {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(s.get(Qubit(0), Qubit(2)), 2.0);
+    }
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall_bitwise_on_integer_weights() {
+        let g = CouplingGraph::from_edges(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
+        )
+        .unwrap();
+        // Integer-valued weights: every path sum is exact in f64, so all
+        // three algorithms must agree bit-for-bit.
+        let weight = |a: Qubit, b: Qubit| f64::from(a.0 + b.0 + 1);
+        let fw = WeightedDistanceMatrix::floyd_warshall(&g, weight);
+        let dj = WeightedDistanceMatrix::dijkstra(&g, weight);
+        let sp = WeightedDistanceMatrix::sparse(&g, weight);
+        assert_eq!(fw, dj);
+        assert_eq!(dj, sp);
+    }
+
+    #[test]
+    fn sparse_and_dense_dijkstra_are_bitwise_identical_on_noisy_weights() {
+        let g = square();
+        // Irrational-ish weights where summation order matters: the
+        // sparse engine and the dense dijkstra constructor share one row
+        // algorithm, so they must still agree bitwise.
+        let weight = |a: Qubit, b: Qubit| 0.1 + 0.017 * f64::from(a.0 * 7 + b.0);
+        let dense = WeightedDistanceMatrix::dijkstra(&g, weight);
+        let sparse = WeightedDistanceMatrix::sparse(&g, weight);
+        for i in 0..4u32 {
+            let dr = dense.row(Qubit(i));
+            let sr = sparse.row(Qubit(i));
+            for j in 0..4 {
+                assert_eq!(dr[j].to_bits(), sr[j].to_bits(), "({i}, {j})");
+            }
+        }
     }
 
     #[test]
@@ -380,6 +1272,8 @@ mod tests {
         let g = CouplingGraph::from_edges(3, [(0, 1)]).unwrap();
         let w = WeightedDistanceMatrix::hops(&g);
         assert!(w.get(Qubit(0), Qubit(2)).is_infinite());
+        let s = WeightedDistanceMatrix::sparse(&g, |_, _| 1.0);
+        assert!(s.get(Qubit(0), Qubit(2)).is_infinite());
     }
 
     #[test]
@@ -400,9 +1294,81 @@ mod tests {
     }
 
     #[test]
+    fn clone_of_sparse_matrix_preserves_values() {
+        let g = square();
+        let s = DistanceMatrix::sparse(&g);
+        let _ = s.get(Qubit(0), Qubit(3)); // warm one row
+        let c = s.clone();
+        assert!(c.is_sparse());
+        assert_eq!(c.cached_rows(), 0, "clone starts cold");
+        assert_eq!(s, c);
+        let w = WeightedDistanceMatrix::sparse(&g, |_, _| 2.5);
+        let wc = w.clone();
+        assert_eq!(w, wc);
+    }
+
+    #[test]
+    fn landmark_bounds_sandwich_exact_distances() {
+        let device = crate::devices::grid(6, 6);
+        let g = device.graph();
+        let weight = |a: Qubit, b: Qubit| 0.5 + 0.01 * f64::from(a.0 + b.0);
+        let sparse = WeightedDistanceMatrix::sparse(g, weight);
+        let exact = WeightedDistanceMatrix::dijkstra(g, weight);
+        for i in 0..36u32 {
+            for j in 0..36u32 {
+                let (lo, hi) = sparse.estimate_bounds(Qubit(i), Qubit(j));
+                let d = exact.get(Qubit(i), Qubit(j));
+                assert!(
+                    lo <= d + 1e-12 && d <= hi + 1e-12,
+                    "({i},{j}): {lo} ≤ {d} ≤ {hi} violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_bounds_are_exact_at_landmarks() {
+        let device = crate::devices::grid(5, 5);
+        let g = device.graph();
+        let sparse = WeightedDistanceMatrix::sparse(g, |_, _| 1.0);
+        let WeightedBackend::Sparse(engine) = &sparse.backend else {
+            panic!("constructed sparse");
+        };
+        let l = engine.oracle.landmarks()[0];
+        for q in 0..25u32 {
+            let (lo, hi) = sparse.estimate_bounds(l, Qubit(q));
+            assert_eq!(lo, hi, "bounds at a landmark must collapse");
+            assert_eq!(lo, sparse.get(l, Qubit(q)));
+        }
+    }
+
+    #[test]
+    fn landmark_oracle_flags_disconnection() {
+        let g = CouplingGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let s = WeightedDistanceMatrix::sparse(&g, |_, _| 1.0);
+        let (lo, hi) = s.estimate_bounds(Qubit(0), Qubit(2));
+        assert!(lo.is_infinite() && hi.is_infinite());
+    }
+
+    #[test]
+    fn dense_estimate_bounds_are_exact() {
+        let g = square();
+        let w = WeightedDistanceMatrix::hops(&g);
+        let (lo, hi) = w.estimate_bounds(Qubit(0), Qubit(3));
+        assert_eq!((lo, hi), (2.0, 2.0));
+    }
+
+    #[test]
     #[should_panic(expected = "finite")]
     fn weighted_rejects_negative_weights() {
         let g = CouplingGraph::from_edges(2, [(0, 1)]).unwrap();
         let _ = WeightedDistanceMatrix::floyd_warshall(&g, |_, _| -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn sparse_rejects_negative_weights() {
+        let g = CouplingGraph::from_edges(2, [(0, 1)]).unwrap();
+        let _ = WeightedDistanceMatrix::sparse(&g, |_, _| -1.0);
     }
 }

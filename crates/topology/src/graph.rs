@@ -4,6 +4,7 @@ use std::fmt;
 
 use sabre_circuit::fingerprint::Fingerprinter;
 
+use crate::csr::CsrAdjacency;
 use crate::Qubit;
 
 /// Errors produced when constructing coupling graphs.
@@ -61,14 +62,13 @@ impl Error for TopologyError {}
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CouplingGraph {
     num_qubits: u32,
-    /// Sorted adjacency list per qubit.
-    adjacency: Vec<Vec<Qubit>>,
     /// Canonical edge list, each `(a, b)` with `a < b`, sorted.
     edges: Vec<(Qubit, Qubit)>,
-    /// `neighbor_edge_ids[q][i]` = [`CouplingGraph::edge_index`] of the
-    /// coupling `(q, adjacency[q][i])` — precomputed so hot loops walking
-    /// a neighborhood get each edge's dense id without a binary search.
-    neighbor_edge_ids: Vec<Vec<u32>>,
+    /// Packed CSR adjacency (offsets + neighbor/edge-id arrays): one
+    /// contiguous allocation instead of a `Vec` per qubit, `O(N + E)`
+    /// memory, sorted neighborhoods served as plain slices. See
+    /// [`CsrAdjacency`].
+    csr: CsrAdjacency,
 }
 
 impl CouplingGraph {
@@ -110,36 +110,11 @@ impl CouplingGraph {
         canonical.sort_unstable();
         canonical.dedup();
 
-        let mut adjacency = vec![Vec::new(); num_qubits as usize];
-        for &(a, b) in &canonical {
-            adjacency[a.index()].push(b);
-            adjacency[b.index()].push(a);
-        }
-        for neighbors in &mut adjacency {
-            neighbors.sort_unstable();
-        }
-        let neighbor_edge_ids = adjacency
-            .iter()
-            .enumerate()
-            .map(|(q, neighbors)| {
-                neighbors
-                    .iter()
-                    .map(|&nb| {
-                        let key = if Qubit(q as u32) < nb {
-                            (Qubit(q as u32), nb)
-                        } else {
-                            (nb, Qubit(q as u32))
-                        };
-                        canonical.binary_search(&key).expect("adjacency edge") as u32
-                    })
-                    .collect()
-            })
-            .collect();
+        let csr = CsrAdjacency::build(num_qubits, &canonical);
         Ok(CouplingGraph {
             num_qubits,
-            adjacency,
             edges: canonical,
-            neighbor_edge_ids,
+            csr,
         })
     }
 
@@ -202,13 +177,14 @@ impl CouplingGraph {
         fp.finish()
     }
 
-    /// The qubits directly coupled to `q`, sorted.
+    /// The qubits directly coupled to `q`, sorted — one contiguous CSR
+    /// slice, `O(1)` to obtain.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside the device.
     pub fn neighbors(&self, q: Qubit) -> &[Qubit] {
-        &self.adjacency[q.index()]
+        self.csr.neighbors(q)
     }
 
     /// Dense [`CouplingGraph::edge_index`] ids of `q`'s couplings, aligned
@@ -224,22 +200,34 @@ impl CouplingGraph {
     ///
     /// Panics if `q` is outside the device.
     pub fn neighbor_edge_ids(&self, q: Qubit) -> &[u32] {
-        &self.neighbor_edge_ids[q.index()]
+        self.csr.edge_ids(q)
     }
 
-    /// Degree of `q` in the coupling graph.
+    /// The packed CSR adjacency backing this graph — for consumers that
+    /// want the raw offsets/neighbor/edge-id arrays (zero-copy sweeps,
+    /// external solvers).
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
+    }
+
+    /// Degree of `q` in the coupling graph (`O(1)` offset subtraction).
     pub fn degree(&self, q: Qubit) -> usize {
-        self.adjacency[q.index()].len()
+        self.csr.degree(q)
     }
 
-    /// Maximum degree over all qubits.
+    /// Maximum degree over all qubits, `O(N)`.
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.num_qubits)
+            .map(|q| self.csr.degree(Qubit(q)))
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Whether a two-qubit gate can be applied directly between `a` and `b`.
+    /// Whether a two-qubit gate can be applied directly between `a` and
+    /// `b` — a binary search of `a`'s sorted CSR neighborhood,
+    /// `O(log degree)`.
     pub fn are_coupled(&self, a: Qubit, b: Qubit) -> bool {
-        self.adjacency[a.index()].binary_search(&b).is_ok()
+        self.csr.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Whether every qubit can reach every other (a requirement for any

@@ -7,9 +7,14 @@
 //!   targets IBM's 20-qubit Tokyo chip where "CNOT gate can already be
 //!   applied on either direction between any connected qubit pair"
 //!   (§III-A), so edges are symmetric.
-//! - [`DistanceMatrix`]: all-pairs shortest paths via Floyd–Warshall, the
-//!   preprocessing step of §IV-A; `D[i][j]` is the minimum number of SWAPs
-//!   required to move a logical qubit from physical qubit `Q_i` to `Q_j`.
+//! - [`DistanceMatrix`] / [`WeightedDistanceMatrix`]: the preprocessing
+//!   step of §IV-A; `D[i][j]` is the minimum number of SWAPs (or the
+//!   cheapest noise-weighted SWAP cost) required to move a logical qubit
+//!   from physical qubit `Q_i` to `Q_j`. Small devices store the dense
+//!   all-pairs matrix; kilo-qubit devices answer from an on-demand
+//!   sparse row engine (BFS/Dijkstra rows behind an LRU, plus a
+//!   [`LandmarkOracle`] for `O(k)` bounds) — same values, flat memory.
+//!   [`DENSE_DISTANCE_THRESHOLD`] is the crossover.
 //! - [`devices`]: a zoo of concrete device models — the IBM Q20 Tokyo graph
 //!   of Figure 2 with its published error rates, older IBM chips, and
 //!   parametric generators (linear, ring, grid, star, complete, heavy-hex).
@@ -30,8 +35,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod csr;
 pub mod devices;
 pub mod direction;
 mod distance;
@@ -39,7 +45,11 @@ pub mod embedding;
 mod graph;
 pub mod noise;
 
-pub use distance::{DistanceMatrix, WeightedDistanceMatrix};
+pub use csr::CsrAdjacency;
+pub use distance::{
+    DistanceBackend, DistanceMatrix, DistanceRow, LandmarkOracle, WeightedDistanceMatrix,
+    DENSE_DISTANCE_THRESHOLD, ROW_CACHE_CAPACITY,
+};
 pub use graph::{CouplingGraph, TopologyError};
 
 // Physical qubits are indexed with the same newtype as circuit wires; the

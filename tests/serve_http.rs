@@ -706,3 +706,66 @@ fn metrics_expose_per_step_routing_telemetry() {
     assert_eq!(health.get("workers").unwrap().as_usize(), Some(1));
     handle.shutdown();
 }
+
+/// Kilo-qubit registration regression: `grid:40x40` (1600 qubits) clears
+/// the raised cap, registers through the sparse distance engine (the
+/// response advertises `"distance": "sparse"`, meaning no `O(N²)` matrix
+/// was allocated during cache warm-up), registers fast, and then serves
+/// a routing request. A small device must keep reporting `"dense"`.
+#[test]
+fn kilo_qubit_registration_uses_the_sparse_engine() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let start = Instant::now();
+    let (status, response) = post_json(
+        addr,
+        "/devices",
+        &JsonValue::object([("id", "kilo".into()), ("builtin", "grid:40x40".into())]),
+    );
+    assert_eq!(status, 201, "{response}");
+    assert_eq!(response.get("num_qubits").unwrap().as_u64(), Some(1600));
+    assert_eq!(response.get("distance").unwrap().as_str(), Some("sparse"));
+    // Dense preprocessing at this size is an O(N³) sweep over a 20 MB
+    // matrix pair — seconds of work. The sparse path is O(N + E).
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "kilo-qubit registration took {:?}",
+        start.elapsed()
+    );
+
+    register(addr, "small", "tokyo20");
+    let (status, listing) = get_json(addr, "/devices");
+    assert_eq!(status, 200);
+    let devices = listing.get("devices").unwrap().as_array().unwrap();
+    let engine_of = |id: &str| {
+        devices
+            .iter()
+            .find(|d| d.get("id").and_then(JsonValue::as_str) == Some(id))
+            .and_then(|d| d.get("distance"))
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(engine_of("kilo").as_deref(), Some("sparse"));
+    assert_eq!(engine_of("small").as_deref(), Some("dense"));
+
+    // The registered kilo-qubit device actually routes.
+    let (status, response) = post_json(
+        addr,
+        "/route",
+        &route_body(
+            "kilo",
+            &workload(64, 120, (5, 7)),
+            &[("num_restarts", 1u64.into())],
+        ),
+    );
+    assert_eq!(status, 200, "{response}");
+    assert!(
+        response.get("result").and_then(|r| r.get("best")).is_some(),
+        "{response}"
+    );
+    handle.shutdown();
+}

@@ -1,0 +1,207 @@
+//! Equivalence suite for the sparse distance engine: forcing the
+//! on-demand row backend must change **nothing** about routing output —
+//! not one bit — on any device family, with or without noise weighting.
+//! Plus the kilo-qubit acceptance path: a deep circuit on a 1089-qubit
+//! grid routes through the sparse engine (no `O(N²)` allocation) and
+//! verifies.
+
+use proptest::prelude::*;
+use sabre::{SabreConfig, SabreRouter};
+use sabre_benchgen::random;
+use sabre_circuit::Qubit;
+use sabre_topology::noise::NoiseModel;
+use sabre_topology::{
+    devices, CouplingGraph, DistanceBackend, DistanceMatrix, WeightedDistanceMatrix,
+    DENSE_DISTANCE_THRESHOLD,
+};
+use sabre_verify::verify_routed;
+
+/// The device families the tentpole must hold on: one fixed chip plus
+/// every parametric generator, including the new heavy-hex lattice.
+fn device_families() -> Vec<(&'static str, CouplingGraph)> {
+    vec![
+        ("tokyo20", devices::ibm_q20_tokyo().graph().clone()),
+        ("grid6x6", devices::grid(6, 6).graph().clone()),
+        ("ring24", devices::ring(24).graph().clone()),
+        ("star16", devices::star(16).graph().clone()),
+        ("heavy-hex4x8", devices::heavy_hex(4, 8).graph().clone()),
+    ]
+}
+
+/// Sparse routing is bit-identical to dense routing: same best result,
+/// same per-traversal telemetry, across device families × seeds.
+#[test]
+fn sparse_routing_is_bit_identical_to_dense_across_families() {
+    for (family, graph) in device_families() {
+        let width = graph.num_qubits().min(12);
+        for seed in [1u64, 7, 42] {
+            let circuit = random::random_circuit(width, 160, 0.7, seed);
+            let config = SabreConfig {
+                seed,
+                ..SabreConfig::default()
+            };
+            let dense =
+                SabreRouter::with_distance_backend(graph.clone(), config, DistanceBackend::Dense)
+                    .unwrap()
+                    .route(&circuit)
+                    .unwrap();
+            let sparse =
+                SabreRouter::with_distance_backend(graph.clone(), config, DistanceBackend::Sparse)
+                    .unwrap()
+                    .route(&circuit)
+                    .unwrap();
+            assert_eq!(
+                dense.best, sparse.best,
+                "{family} seed {seed}: backends disagree on the best routing"
+            );
+            assert_eq!(
+                dense.traversals, sparse.traversals,
+                "{family} seed {seed}: backends disagree on traversal telemetry"
+            );
+        }
+    }
+}
+
+/// The same bit-identity holds for noise-weighted routing, where the
+/// sparse backend answers from cached Dijkstra rows instead of a dense
+/// Floyd–Warshall-style closure.
+#[test]
+fn noise_weighted_sparse_routing_matches_dense() {
+    for (family, graph) in device_families() {
+        let width = graph.num_qubits().min(10);
+        let noise = NoiseModel::calibrated(&graph, 0.02, 4.0, 3);
+        let circuit = random::random_circuit(width, 120, 0.7, 11);
+        let config = SabreConfig {
+            seed: 5,
+            ..SabreConfig::fast()
+        };
+        let dense = SabreRouter::with_noise_and_backend(
+            graph.clone(),
+            config,
+            &noise,
+            DistanceBackend::Dense,
+        )
+        .unwrap()
+        .route(&circuit)
+        .unwrap();
+        let sparse = SabreRouter::with_noise_and_backend(
+            graph.clone(),
+            config,
+            &noise,
+            DistanceBackend::Sparse,
+        )
+        .unwrap()
+        .route(&circuit)
+        .unwrap();
+        assert_eq!(
+            dense.best, sparse.best,
+            "{family}: noise-weighted backends disagree"
+        );
+        assert_eq!(dense.traversals, sparse.traversals);
+    }
+}
+
+/// Kilo-qubit acceptance: grid 33×33 (1089 qubits) lands on the sparse
+/// engine via the auto policy, routes a deep circuit, and the output
+/// verifies gate-for-gate.
+#[test]
+fn kilo_qubit_grid_routes_through_the_sparse_engine() {
+    let graph = devices::grid(33, 33).graph().clone();
+    assert!(graph.num_qubits() > DENSE_DISTANCE_THRESHOLD);
+    let router = SabreRouter::new(graph.clone(), SabreConfig::fast()).unwrap();
+    assert!(
+        router.distance_matrix().is_sparse(),
+        "auto policy must pick the sparse engine past the threshold"
+    );
+    let circuit = random::random_circuit(150, 1_500, 0.9, 21);
+    let result = router.route(&circuit).unwrap();
+    assert!(result.best.num_swaps > 0, "a deep circuit needs routing");
+    verify_routed(
+        &circuit,
+        &result.best.physical,
+        result.best.initial_layout.logical_to_physical(),
+        result.best.final_layout.logical_to_physical(),
+        &graph,
+    )
+    .unwrap();
+}
+
+/// The same on heavy-hex, the other kilo-qubit family named by the
+/// acceptance criteria (22×44 → 1199 qubits with bridges).
+#[test]
+fn kilo_qubit_heavy_hex_routes_through_the_sparse_engine() {
+    let graph = devices::heavy_hex(22, 44).graph().clone();
+    assert!(graph.num_qubits() > 1000);
+    let router = SabreRouter::new(graph.clone(), SabreConfig::fast()).unwrap();
+    assert!(router.distance_matrix().is_sparse());
+    let circuit = random::random_circuit(80, 600, 0.9, 33);
+    let result = router.route(&circuit).unwrap();
+    verify_routed(
+        &circuit,
+        &result.best.physical,
+        result.best.initial_layout.logical_to_physical(),
+        result.best.final_layout.logical_to_physical(),
+        &graph,
+    )
+    .unwrap();
+}
+
+/// A connected device drawn from the same generator pool the workspace
+/// property tests use.
+fn arb_device() -> impl Strategy<Value = CouplingGraph> {
+    (0usize..5, 2u32..=16).prop_map(|(kind, size)| {
+        let device = match kind {
+            0 => devices::linear(size),
+            1 => devices::ring(size.max(3)),
+            2 => devices::grid(2, size.div_ceil(2)),
+            3 => devices::star(size.max(2)),
+            _ => devices::heavy_hex(size.div_ceil(4).max(1), (size % 5) + 3),
+        };
+        device.graph().clone()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every cached Dijkstra row agrees with a fresh Floyd–Warshall row.
+    /// Integer edge weights keep every path sum exactly representable,
+    /// so agreement is exact (`to_bits`), not approximate — the same
+    /// guarantee the router's hop-valued cost matrix relies on.
+    #[test]
+    fn cached_dijkstra_rows_match_floyd_warshall(
+        graph in arb_device(),
+        salt in 0u32..100,
+    ) {
+        let weight = |a: Qubit, b: Qubit| f64::from((a.0 * 7 + b.0 * 3 + salt) % 5 + 1);
+        let fw = WeightedDistanceMatrix::floyd_warshall(&graph, weight);
+        let sparse = WeightedDistanceMatrix::with_backend(
+            &graph, weight, DistanceBackend::Sparse,
+        );
+        let n = graph.num_qubits();
+        for a in 0..n {
+            // Two passes per source: the second is a cache hit and must
+            // read back the identical Arc'd row.
+            for _ in 0..2 {
+                let row = sparse.row(Qubit(a));
+                for b in 0..n {
+                    let exact = fw.get(Qubit(a), Qubit(b));
+                    prop_assert_eq!(
+                        row[b as usize].to_bits(),
+                        exact.to_bits(),
+                        "row {} col {} diverged", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hop-count rows from the sparse BFS engine equal the dense matrix
+    /// on arbitrary connected devices.
+    #[test]
+    fn sparse_hop_rows_match_dense(graph in arb_device()) {
+        let dense = DistanceMatrix::bfs(&graph);
+        let sparse = DistanceMatrix::with_backend(&graph, DistanceBackend::Sparse);
+        prop_assert_eq!(dense, sparse);
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline API-compatible subset of `criterion` 0.5 — see
+//! `vendor/README.md` for why this exists and how to swap in the real
+//! crate.
+//!
+//! Surface provided: [`Criterion`], [`BenchmarkGroup`] (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`] (`new` / `from_parameter`), [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. The command line honours `--test` (run every benchmark
+//! exactly once, fail on panic — CI's rot check), bare substring
+//! filters, and silently ignores the flags cargo and real criterion
+//! pass around (`--bench`, etc.).
+//!
+//! Measurement is deliberately simple: warm up briefly, pick an
+//! iteration count that makes one sample a few milliseconds, time a
+//! bounded number of samples, and report the median. Good enough for
+//! the relative claims this workspace documents (cold vs warm, engine A
+//! vs engine B); not a statistics engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — re-exported `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `function/parameter`, matching real criterion's
+/// display form.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("cold", "tokyo20")` → `cold/tokyo20`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter (`BenchmarkId::from_parameter(64)`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_count: usize,
+    median_ns: Option<u128>,
+}
+
+impl Bencher {
+    /// Times `f` (or runs it exactly once in `--test` mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: run for ~20ms to stabilize caches and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_ns = (warm_start.elapsed().as_nanos() / u128::from(warm_iters)).max(1);
+        // One sample ≈ 2ms of work (at least one iteration).
+        let iters_per_sample = (2_000_000 / per_iter_ns).clamp(1, 1_000_000) as u64;
+        let mut samples: Vec<u128> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() / u128::from(iters_per_sample));
+        }
+        samples.sort_unstable();
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim bounds its own sample
+    /// count at 20 regardless (measurement here is a smoke-grade median,
+    /// not a statistics engine).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.clamp(2, 20);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&label) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_count: self.sample_count,
+            median_ns: None,
+        };
+        f(&mut bencher);
+        self.criterion.report(&label, bencher.median_ns);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (purely cosmetic in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Shim driver: owns the CLI mode and prints one line per benchmark.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from `std::env::args`: `--test` switches to
+    /// run-once mode, bare words are substring filters, every `--flag`
+    /// real criterion or cargo might pass is ignored (flags with values
+    /// consume their value).
+    pub fn configure_from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Value-carrying flags real criterion accepts: skip both.
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--save-baseline"
+                | "--baseline" | "--load-baseline" | "--output-format" | "--color" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with('-') => {}
+                filter => c.filters.push(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 10,
+            criterion: self,
+        }
+    }
+
+    /// Top-level single benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        if self.matches(&label) {
+            let mut bencher = Bencher {
+                test_mode: self.test_mode,
+                sample_count: 10,
+                median_ns: None,
+            };
+            f(&mut bencher);
+            let median = bencher.median_ns;
+            self.report(&label, median);
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| label.contains(f))
+    }
+
+    fn report(&self, label: &str, median_ns: Option<u128>) {
+        if self.test_mode {
+            println!("{label}: ok (test mode)");
+        } else {
+            match median_ns {
+                Some(ns) => println!("{label}: median {ns} ns/iter"),
+                None => println!("{label}: no measurement (empty bench body)"),
+            }
+        }
+    }
+}
+
+/// Declares a group function `$name` running each `$target(c)` in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main`: parse args, run every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::configure_from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_real_criterion() {
+        assert_eq!(
+            BenchmarkId::new("cold", "tokyo20").to_string(),
+            "cold/tokyo20"
+        );
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: Vec::new(),
+        };
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("one", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            test_mode: true,
+            filters: vec!["warm".to_string()],
+        };
+        assert!(c.matches("router_acquisition/warm/tokyo20"));
+        assert!(!c.matches("router_acquisition/cold/tokyo20"));
+    }
+}
