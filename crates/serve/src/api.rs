@@ -41,6 +41,28 @@ impl ApiError {
     }
 }
 
+/// A priced `429 Too Many Requests`: unlike the blind `503`, it tells
+/// the client *when* capacity is projected to exist. The body carries
+/// `projected_wait_ms` (the modeled queue drain ahead of this request,
+/// `0` for pure rate-limit rejections) and the `Retry-After` header
+/// rounds that up to whole seconds, floored at the configured minimum.
+pub fn too_many_requests(
+    message: &str,
+    projected_wait_ms: u64,
+    retry_after_secs: u64,
+) -> crate::http::Response {
+    let retry_after = retry_after_secs.max(projected_wait_ms.div_ceil(1000));
+    crate::http::Response::json(
+        429,
+        &JsonValue::object([
+            ("error", message.into()),
+            ("projected_wait_ms", JsonValue::from(projected_wait_ms)),
+            ("retry_after_secs", JsonValue::from(retry_after)),
+        ]),
+    )
+    .with_header("Retry-After", retry_after.to_string())
+}
+
 /// Registration cap. Preprocessing above
 /// [`sabre_topology::DENSE_DISTANCE_THRESHOLD`] qubits goes through the
 /// sparse on-demand distance engine (`O(N + E)` resident, no all-pairs

@@ -40,6 +40,34 @@ pub struct ServeConfig {
     /// cap keeps a single chatty client from pinning a connection thread
     /// forever.
     pub max_requests_per_connection: usize,
+    /// Connection-table capacity of the reactor. Accepted sockets beyond
+    /// this bound receive a canned `503` and are closed immediately —
+    /// the one case that still sheds blindly, because with no table slot
+    /// there is nowhere to park the request while pricing it.
+    pub max_connections: usize,
+    /// Per-client token-bucket refill rate (requests/second per peer
+    /// IP), applied to job-submitting endpoints. `0` disables rate
+    /// limiting — the default, since loopback clients share one IP.
+    pub rate_limit_per_sec: u32,
+    /// Token-bucket burst: how many requests a client may issue
+    /// back-to-back before the refill rate governs. Floored at 1.
+    pub rate_limit_burst: u32,
+    /// Admission SLO: when the projected queue wait (work queued + in
+    /// flight, priced at the live avg ns-per-step) exceeds this, new
+    /// jobs get `429` with a `projected_wait_ms` instead of queueing.
+    /// `0` disables predicted-cost shedding.
+    pub admission_slo_ms: u64,
+    /// Read deadline: a connection must deliver a complete request
+    /// within this budget of its first byte, or it is reaped (slowloris
+    /// guard). The budget is absolute, not per-read — progress-based
+    /// resets are exactly what a 1-byte-per-second client exploits.
+    pub read_deadline_ms: u64,
+    /// Write deadline: a connection whose peer stops reading our
+    /// response is reaped after this long without write progress.
+    pub write_deadline_ms: u64,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the reactor closes it.
+    pub idle_timeout_ms: u64,
     /// Baseline [`SabreConfig`] for every request; per-request `"config"`
     /// overrides are applied on top of this.
     pub default_config: SabreConfig,
@@ -57,6 +85,13 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             max_body_bytes: 4 << 20,
             max_requests_per_connection: 64,
+            max_connections: 4096,
+            rate_limit_per_sec: 0,
+            rate_limit_burst: 8,
+            admission_slo_ms: 5000,
+            read_deadline_ms: 30_000,
+            write_deadline_ms: 30_000,
+            idle_timeout_ms: 5000,
             default_config: SabreConfig::default(),
         }
     }
@@ -78,6 +113,18 @@ impl ServeConfig {
         }
         if self.max_requests_per_connection == 0 {
             return Err("max_requests_per_connection must be ≥ 1".into());
+        }
+        if self.max_connections == 0 {
+            return Err("max_connections must be ≥ 1".into());
+        }
+        if self.read_deadline_ms == 0 {
+            return Err("read_deadline_ms must be ≥ 1".into());
+        }
+        if self.write_deadline_ms == 0 {
+            return Err("write_deadline_ms must be ≥ 1".into());
+        }
+        if self.idle_timeout_ms == 0 {
+            return Err("idle_timeout_ms must be ≥ 1".into());
         }
         self.default_config
             .validate()
@@ -102,6 +149,28 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(c.validate().unwrap_err().contains("queue_capacity"));
+    }
+
+    #[test]
+    fn zero_connection_table_rejected() {
+        let c = ServeConfig {
+            max_connections: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("max_connections"));
+    }
+
+    #[test]
+    fn zero_deadlines_rejected() {
+        for field in ["read_deadline_ms", "write_deadline_ms", "idle_timeout_ms"] {
+            let mut c = ServeConfig::default();
+            match field {
+                "read_deadline_ms" => c.read_deadline_ms = 0,
+                "write_deadline_ms" => c.write_deadline_ms = 0,
+                _ => c.idle_timeout_ms = 0,
+            }
+            assert!(c.validate().unwrap_err().contains(field), "{field}");
+        }
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! Hand-rolled HTTP/1.1, scoped to exactly what the service needs: parse
-//! requests (request line, headers, `Content-Length` body) and write
-//! responses.
+//! Hand-rolled HTTP/1.1, scoped to exactly what the service needs: an
+//! **incremental, resumable** request parser plus response writing.
 //!
 //! No crates.io in this environment, so this replaces `hyper`/`axum`.
-//! **Keep-alive is supported**: [`read_request_buffered`] carries bytes
-//! the client pipelined past one request's body over to the next read,
-//! and a [`Response`] marked [`Response::keep_alive`] advertises
-//! `Connection: keep-alive` instead of the default `close` (the
-//! connection loop in `service.rs` bounds requests per connection).
+//! The core type is [`RequestParser`]: the reactor feeds it whatever
+//! bytes a nonblocking read produced and [`RequestParser::advance`]
+//! reports whether a complete request materialized — multi-MB bodies
+//! stream into the buffer chunk-by-chunk across many readiness events
+//! instead of blocking a thread inside one `read` loop. Bytes a client
+//! pipelined past one request's body stay buffered and feed the next
+//! request. The blocking [`read_request`]/[`read_request_buffered`]
+//! helpers wrap the same parser for unit tests and simple callers.
+//!
 //! Deliberate non-features: chunked transfer encoding (rejected with
 //! `411`), HTTP/2. `Expect: 100-continue` *is* honored because `curl`
 //! sends it for bodies above its threshold.
@@ -118,38 +121,147 @@ impl HttpError {
     }
 }
 
-/// Reads one complete request from `stream`, discarding any bytes the
-/// client sent past the request's body (single-request connections).
-///
-/// Honors `Expect: 100-continue` (hence the `Write` bound). The body is
-/// rejected before it is read when `Content-Length` exceeds `max_body`.
-///
-/// # Errors
-///
-/// [`HttpError`] describing the malformation or I/O failure.
-pub fn read_request<S: Read + Write>(
-    stream: &mut S,
-    max_body: usize,
-) -> Result<Request, HttpError> {
-    let mut carry = Vec::new();
-    read_request_buffered(stream, &mut carry, max_body)
+/// What [`RequestParser::advance`] produced.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Not enough bytes buffered yet; feed more and advance again.
+    Incomplete,
+    /// The request head carried `Expect: 100-continue` — the caller
+    /// should write `HTTP/1.1 100 Continue\r\n\r\n` before the client
+    /// sends the body. Emitted at most once per request, before its
+    /// `Request` event.
+    Continue,
+    /// One complete request. Bytes the client pipelined past its body
+    /// stay buffered for the next `advance`.
+    Request(Request),
 }
 
-/// [`read_request`] for keep-alive connections: `carry` holds bytes read
-/// past the previous request's body (HTTP/1.1 pipelining) and is
-/// refilled with whatever this read pulls past *its* body, so a
-/// connection loop can parse back-to-back requests without losing data.
+/// Internal parser state: between requests / mid-head, or mid-body.
+enum ParseState {
+    /// Buffering until the `\r\n\r\n` head terminator appears.
+    Head,
+    /// Head parsed; buffering until `content_length` body bytes arrived.
+    /// Any `Expect: 100-continue` was already signaled during the
+    /// `Head → Body` transition, so this state never re-emits it.
+    Body {
+        head: Request,
+        content_length: usize,
+    },
+    /// A previous `advance` reported an error; the byte stream is
+    /// unsynchronized and no further request can be parsed.
+    Failed,
+}
+
+/// Incremental HTTP/1.1 request parser with resumable state.
 ///
-/// # Errors
+/// Feed raw bytes with [`RequestParser::feed`] (typically whatever one
+/// nonblocking read returned), then call [`RequestParser::advance`]
+/// until it reports [`Parsed::Incomplete`]. The parser owns the
+/// carry-over buffer, so pipelined requests are handled for free: bytes
+/// past one request's body are simply the start of the next request.
 ///
-/// [`HttpError`] describing the malformation or I/O failure.
-pub fn read_request_buffered<S: Read + Write>(
-    stream: &mut S,
-    carry: &mut Vec<u8>,
+/// Errors are sticky: after an `Err` the stream is unsynchronized and
+/// every later `advance` returns the same class of failure — close the
+/// connection after writing the error response.
+pub struct RequestParser {
     max_body: usize,
-) -> Result<Request, HttpError> {
-    let (head, mut leftover) = read_head(stream, std::mem::take(carry))?;
-    let head_text = std::str::from_utf8(&head)
+    buf: Vec<u8>,
+    state: ParseState,
+}
+
+impl RequestParser {
+    /// A fresh parser; bodies above `max_body` bytes are rejected with
+    /// [`HttpError::PayloadTooLarge`] as soon as the head announces them.
+    pub fn new(max_body: usize) -> Self {
+        RequestParser {
+            max_body,
+            buf: Vec::new(),
+            state: ParseState::Head,
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes buffered but not yet consumed by a request.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether a request is partially received: either head bytes are
+    /// buffered without their terminator, or a body is mid-stream. The
+    /// reactor uses this to arm the per-request read deadline (a parser
+    /// that is *not* mid-request is an idle keep-alive connection).
+    pub fn is_mid_request(&self) -> bool {
+        match self.state {
+            ParseState::Head => !self.buf.is_empty(),
+            ParseState::Body { .. } => true,
+            ParseState::Failed => false,
+        }
+    }
+
+    /// Tries to produce the next event from the buffered bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError`] when the buffered bytes are not a valid request —
+    /// the parser stays failed afterwards.
+    pub fn advance(&mut self) -> Result<Parsed, HttpError> {
+        match std::mem::replace(&mut self.state, ParseState::Failed) {
+            ParseState::Head => {
+                let Some(end) = find_terminator(&self.buf) else {
+                    if self.buf.len() > MAX_HEAD_BYTES {
+                        return Err(HttpError::BadRequest(
+                            "header section exceeds 16 KiB".into(),
+                        ));
+                    }
+                    self.state = ParseState::Head;
+                    return Ok(Parsed::Incomplete);
+                };
+                let rest = self.buf.split_off(end + 4);
+                let head_bytes = std::mem::replace(&mut self.buf, rest);
+                let (head, content_length) = parse_head(&head_bytes[..end], self.max_body)?;
+                let send_continue = head
+                    .header("expect")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"));
+                self.state = ParseState::Body {
+                    head,
+                    content_length,
+                };
+                if send_continue {
+                    return Ok(Parsed::Continue);
+                }
+                self.advance()
+            }
+            ParseState::Body {
+                mut head,
+                content_length,
+            } => {
+                if self.buf.len() < content_length {
+                    self.state = ParseState::Body {
+                        head,
+                        content_length,
+                    };
+                    return Ok(Parsed::Incomplete);
+                }
+                let rest = self.buf.split_off(content_length);
+                head.body = std::mem::replace(&mut self.buf, rest);
+                self.state = ParseState::Head;
+                Ok(Parsed::Request(head))
+            }
+            ParseState::Failed => Err(HttpError::BadRequest(
+                "connection is unsynchronized after a previous parse error".into(),
+            )),
+        }
+    }
+}
+
+/// Parses a complete header section (without the `\r\n\r\n` terminator)
+/// into a body-less [`Request`] plus its announced `Content-Length`.
+fn parse_head(head: &[u8], max_body: usize) -> Result<(Request, usize), HttpError> {
+    let head_text = std::str::from_utf8(head)
         .map_err(|_| HttpError::BadRequest("header section is not valid UTF-8".into()))?;
     let mut lines = head_text.split("\r\n");
     let request_line = lines
@@ -181,7 +293,7 @@ pub fn read_request_buffered<S: Read + Write>(
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let request_head = Request {
+    let request = Request {
         method: method.to_ascii_uppercase(),
         path: target.split('?').next().unwrap_or(target).to_string(),
         headers,
@@ -189,13 +301,13 @@ pub fn read_request_buffered<S: Read + Write>(
         http11: version == "HTTP/1.1",
     };
 
-    if request_head
+    if request
         .header("transfer-encoding")
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
     {
         return Err(HttpError::LengthRequired);
     }
-    let content_length = match request_head.header("content-length") {
+    let content_length = match request.header("content-length") {
         Some(text) => text
             .parse::<usize>()
             .map_err(|_| HttpError::BadRequest(format!("bad Content-Length `{text}`")))?,
@@ -204,66 +316,80 @@ pub fn read_request_buffered<S: Read + Write>(
     if content_length > max_body {
         return Err(HttpError::PayloadTooLarge { limit: max_body });
     }
-
-    if request_head
-        .header("expect")
-        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
-    {
-        stream
-            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
-            .map_err(HttpError::Io)?;
-    }
-
-    let mut body = leftover.split_off(0);
-    // A pipelined client may legally have sent its next request already;
-    // everything past Content-Length belongs to it. Hand it back through
-    // `carry` so a keep-alive loop parses it as the next request (a
-    // single-request caller simply drops it).
-    if body.len() > content_length {
-        *carry = body.split_off(content_length);
-    }
-    while body.len() < content_length {
-        let mut chunk = [0u8; 4096];
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want]).map_err(HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("connection closed mid-body".into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-
-    Ok(Request {
-        body,
-        ..request_head
-    })
+    Ok((request, content_length))
 }
 
-/// Reads up to and including the `\r\n\r\n` header terminator, starting
-/// from any bytes already buffered off the socket (`carried`); returns
-/// the head (without the terminator) and any body bytes already pulled.
-fn read_head<S: Read>(stream: &mut S, carried: Vec<u8>) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
-    let mut buf = carried;
-    buf.reserve(1024);
+/// Reads one complete request from `stream`, discarding any bytes the
+/// client sent past the request's body (single-request connections).
+///
+/// Honors `Expect: 100-continue` (hence the `Write` bound). The body is
+/// rejected before it is read when `Content-Length` exceeds `max_body`.
+///
+/// # Errors
+///
+/// [`HttpError`] describing the malformation or I/O failure.
+pub fn read_request<S: Read + Write>(
+    stream: &mut S,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let mut carry = Vec::new();
+    read_request_buffered(stream, &mut carry, max_body)
+}
+
+/// [`read_request`] for keep-alive connections: `carry` holds bytes read
+/// past the previous request's body (HTTP/1.1 pipelining) and is
+/// refilled with whatever this read pulls past *its* body, so a
+/// connection loop can parse back-to-back requests without losing data.
+///
+/// Blocking wrapper over [`RequestParser`] — the reactor drives the
+/// parser directly; this exists for unit tests and simple clients.
+///
+/// # Errors
+///
+/// [`HttpError`] describing the malformation or I/O failure.
+pub fn read_request_buffered<S: Read + Write>(
+    stream: &mut S,
+    carry: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new(max_body);
+    parser.feed(carry);
+    carry.clear();
     loop {
-        if let Some(end) = find_terminator(&buf) {
-            let rest = buf.split_off(end + 4);
-            buf.truncate(end);
-            return Ok((buf, rest));
+        match parser.advance()? {
+            Parsed::Request(request) => {
+                *carry = std::mem::take(&mut parser.buf);
+                return Ok(request);
+            }
+            Parsed::Continue => {
+                stream
+                    .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                    .map_err(HttpError::Io)?;
+            }
+            Parsed::Incomplete => {
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+                if n == 0 {
+                    return Err(if parser.is_mid_request() {
+                        match parser.state {
+                            ParseState::Body { .. } => {
+                                HttpError::BadRequest("connection closed mid-body".into())
+                            }
+                            _ => HttpError::Io(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "connection closed before the header terminator",
+                            )),
+                        }
+                    } else {
+                        HttpError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed before the header terminator",
+                        ))
+                    });
+                }
+                parser.feed(&chunk[..n]);
+            }
         }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::BadRequest(
-                "header section exceeds 16 KiB".into(),
-            ));
-        }
-        let mut chunk = [0u8; 1024];
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed before the header terminator",
-            )));
-        }
-        buf.extend_from_slice(&chunk[..n]);
     }
 }
 
@@ -378,6 +504,7 @@ fn reason(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -437,6 +564,80 @@ mod tests {
         let req = read_request(&mut Duplex::new(raw), 1024).unwrap();
         assert_eq!(req.method, "GET");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn incremental_parse_byte_by_byte() {
+        // The whole point of the resumable parser: any byte-level
+        // fragmentation of a valid request must produce the identical
+        // request, with `is_mid_request` flipping on at the first byte.
+        let raw = b"POST /route HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let mut parser = RequestParser::new(1024);
+        assert!(!parser.is_mid_request());
+        let mut request = None;
+        for (i, byte) in raw.iter().enumerate() {
+            parser.feed(std::slice::from_ref(byte));
+            match parser.advance().unwrap() {
+                Parsed::Incomplete => {
+                    assert!(parser.is_mid_request(), "mid-request from byte 0");
+                    assert!(i + 1 < raw.len(), "must complete on the last byte");
+                }
+                Parsed::Request(r) => {
+                    assert_eq!(i + 1, raw.len());
+                    request = Some(r);
+                }
+                Parsed::Continue => panic!("no Expect header present"),
+            }
+        }
+        let request = request.expect("request completed");
+        assert_eq!(request.path, "/route");
+        assert_eq!(request.body, b"hello");
+        assert!(!parser.is_mid_request());
+        assert_eq!(parser.buffered_len(), 0);
+    }
+
+    #[test]
+    fn incremental_parse_keeps_pipelined_bytes() {
+        let mut parser = RequestParser::new(1024);
+        parser.feed(b"POST /route HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP");
+        let first = match parser.advance().unwrap() {
+            Parsed::Request(r) => r,
+            other => panic!("expected a request, got {other:?}"),
+        };
+        assert_eq!(first.path, "/route");
+        assert_eq!(first.body, b"body");
+        // The second request's head is partially buffered: mid-request.
+        assert!(parser.is_mid_request());
+        assert!(matches!(parser.advance().unwrap(), Parsed::Incomplete));
+        parser.feed(b"/1.1\r\n\r\n");
+        let second = match parser.advance().unwrap() {
+            Parsed::Request(r) => r,
+            other => panic!("expected a request, got {other:?}"),
+        };
+        assert_eq!(second.path, "/healthz");
+        assert!(!parser.is_mid_request());
+    }
+
+    #[test]
+    fn expect_100_continue_is_signaled_once() {
+        let mut parser = RequestParser::new(1024);
+        parser.feed(b"POST /route HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\n");
+        assert!(matches!(parser.advance().unwrap(), Parsed::Continue));
+        assert!(matches!(parser.advance().unwrap(), Parsed::Incomplete));
+        parser.feed(b"ok");
+        match parser.advance().unwrap() {
+            Parsed::Request(r) => assert_eq!(r.body, b"ok"),
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_sticky() {
+        let mut parser = RequestParser::new(1024);
+        parser.feed(b"GARBAGE\r\n\r\n");
+        assert!(parser.advance().is_err());
+        parser.feed(b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(parser.advance().is_err(), "a failed parser stays failed");
     }
 
     #[test]
@@ -545,6 +746,13 @@ mod tests {
     }
 
     #[test]
+    fn oversized_head_without_terminator_is_rejected() {
+        let mut parser = RequestParser::new(1024);
+        parser.feed(&vec![b'a'; MAX_HEAD_BYTES + 1]);
+        assert!(matches!(parser.advance(), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
     fn response_wire_format() {
         let resp = Response::json(503, &JsonValue::object([("error", "busy".into())]))
             .with_header("Retry-After", "1");
@@ -564,5 +772,14 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(body_len, resp.body().len());
+    }
+
+    #[test]
+    fn reason_phrase_for_429() {
+        let resp = Response::error(429, "slow down");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
     }
 }

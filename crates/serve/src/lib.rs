@@ -9,8 +9,23 @@
 //! and live calibration refresh.
 //!
 //! Everything is built on `std` (hand-rolled HTTP/1.1 over
-//! `TcpListener`, hand-rolled JSON via [`sabre_json`]) because the build
-//! environment has no crates.io access.
+//! `TcpListener`, hand-rolled JSON via [`sabre_json`], a hand-declared
+//! `poll(2)` for readiness) because the build environment has no
+//! crates.io access.
+//!
+//! # Serving core
+//!
+//! Connections are owned by a single nonblocking reactor thread — a
+//! `poll(2)` readiness loop over a bounded, generation-stamped
+//! connection table — so ten thousand idle keep-alive clients cost
+//! table slots, not threads. Request bodies stream through an
+//! incremental parser ([`http::RequestParser`]), slow readers and
+//! writers are reaped by per-direction deadlines, and routing work is
+//! priced at admission: per-client token buckets first, then a
+//! predicted-wait model (backlog steps × live ns-per-step ÷ workers)
+//! that answers `429` with the projected wait when the SLO would be
+//! blown. `503` is reserved for hard capacity (full queue or connection
+//! table), with `Retry-After` computed from the same drain model.
 //!
 //! # Endpoints
 //!
@@ -47,14 +62,19 @@
 //! (`examples/serve_client.rs` in the workspace root round-trips a real
 //! circuit through a loopback server.)
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `poll` module re-enables unsafe locally for
+// the one FFI declaration the reactor needs; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod api;
 mod config;
 pub mod http;
 pub mod metrics;
+mod poll;
 pub mod queue;
+mod reactor;
 mod service;
 
 pub use config::ServeConfig;

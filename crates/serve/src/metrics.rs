@@ -52,6 +52,80 @@ pub struct Metrics {
     pub last_route_ns_per_step: AtomicU64,
     /// Nanoseconds jobs spent queued between admission and pickup.
     pub queue_wait_ns_total: AtomicU64,
+    /// Connections reaped by the read deadline (slowloris guard).
+    pub reaped_read_deadline: AtomicU64,
+    /// Connections reaped by the write deadline (peer stopped reading).
+    pub reaped_write_deadline: AtomicU64,
+    /// Keep-alive connections closed by the idle timeout.
+    pub reaped_idle: AtomicU64,
+    /// Requests shed with `429` by the per-client token bucket.
+    pub shed_rate_limited: AtomicU64,
+    /// Requests shed with `429` because the projected queue wait
+    /// exceeded the admission SLO.
+    pub shed_predicted_slo: AtomicU64,
+    /// Connections refused with a canned `503` because the connection
+    /// table was full.
+    pub shed_table_full: AtomicU64,
+    /// Histogram of the projected queue wait computed at admission time
+    /// (milliseconds), recorded for every priced request whether it was
+    /// admitted or shed.
+    pub predicted_wait_ms: Histogram,
+}
+
+/// Upper bounds (ms) of the `admission_predicted_wait_ms` buckets; an
+/// implicit `+Inf` bucket follows.
+pub const PREDICTED_WAIT_BUCKETS_MS: [u64; 10] = [1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000];
+
+/// A fixed-bucket Prometheus histogram (cumulative buckets rendered at
+/// scrape time; stored counts are per-bucket).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; PREDICTED_WAIT_BUCKETS_MS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = PREDICTED_WAIT_BUCKETS_MS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(PREDICTED_WAIT_BUCKETS_MS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP sabre_serve_{name} {help}");
+        let _ = writeln!(out, "# TYPE sabre_serve_{name} histogram");
+        let mut cumulative = 0u64;
+        for (idx, bound) in PREDICTED_WAIT_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.buckets[idx].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "sabre_serve_{name}_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.buckets[PREDICTED_WAIT_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "sabre_serve_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            out,
+            "sabre_serve_{name}_sum {}",
+            self.sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "sabre_serve_{name}_count {}",
+            self.count.load(Ordering::Relaxed)
+        );
+    }
 }
 
 /// Point-in-time gauges owned by the service, sampled per scrape.
@@ -69,6 +143,10 @@ pub struct GaugeSnapshot {
     pub fleets: usize,
     /// Whether shutdown has begun.
     pub draining: bool,
+    /// Connections currently in the reactor's table.
+    pub open_connections: usize,
+    /// Connection-table capacity.
+    pub max_connections: usize,
 }
 
 /// One `HELP`/`TYPE`/sample triple.
@@ -95,6 +173,17 @@ impl Metrics {
             ns_per_step.min(u128::from(u64::MAX)) as u64,
             Ordering::Relaxed,
         );
+    }
+
+    /// Mean ns per search step over the process lifetime — the live
+    /// price admission control multiplies predicted steps by. `0` until
+    /// the first routing job completes (no observation, no model).
+    pub fn avg_ns_per_step(&self) -> u64 {
+        let steps = self.routing_steps_total.load(Ordering::Relaxed);
+        self.routing_ns_total
+            .load(Ordering::Relaxed)
+            .checked_div(steps)
+            .unwrap_or(0)
     }
 
     /// Renders the Prometheus exposition text.
@@ -143,6 +232,20 @@ impl Metrics {
             "gauge",
             "1 once shutdown has begun.",
             u64::from(gauges.draining),
+        );
+        metric(
+            &mut out,
+            "open_connections",
+            "gauge",
+            "Connections currently held in the reactor's table.",
+            gauges.open_connections as u64,
+        );
+        metric(
+            &mut out,
+            "max_connections",
+            "gauge",
+            "Connection-table capacity.",
+            gauges.max_connections as u64,
         );
 
         // The labeled request family shares one HELP/TYPE block.
@@ -240,6 +343,47 @@ impl Metrics {
             load(&self.queue_wait_ns_total),
         );
 
+        // Labeled families: reap reasons and admission-rejection kinds.
+        let _ = writeln!(
+            out,
+            "# HELP sabre_serve_connections_reaped_total Connections closed by a deadline or idle timeout."
+        );
+        let _ = writeln!(out, "# TYPE sabre_serve_connections_reaped_total counter");
+        for (reason, counter) in [
+            ("read_deadline", &self.reaped_read_deadline),
+            ("write_deadline", &self.reaped_write_deadline),
+            ("idle", &self.reaped_idle),
+        ] {
+            let _ = writeln!(
+                out,
+                "sabre_serve_connections_reaped_total{{reason=\"{reason}\"}} {}",
+                load(counter)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sabre_serve_admission_rejections_total Requests shed before queueing, by cause."
+        );
+        let _ = writeln!(out, "# TYPE sabre_serve_admission_rejections_total counter");
+        for (kind, value) in [
+            // queue_full mirrors the legacy queue_rejections counter so
+            // the labeled family is complete without double-counting.
+            ("queue_full", load(&self.queue_rejections)),
+            ("rate_limited", load(&self.shed_rate_limited)),
+            ("predicted_slo", load(&self.shed_predicted_slo)),
+            ("table_full", load(&self.shed_table_full)),
+        ] {
+            let _ = writeln!(
+                out,
+                "sabre_serve_admission_rejections_total{{kind=\"{kind}\"}} {value}"
+            );
+        }
+        self.predicted_wait_ms.render(
+            &mut out,
+            "admission_predicted_wait_ms",
+            "Projected queue wait (ms) computed at admission time.",
+        );
+
         metric(
             &mut out,
             "cache_graph_hits_total",
@@ -295,8 +439,13 @@ mod tests {
         let m = Metrics::default();
         Metrics::add(&m.requests_route, 3);
         Metrics::add(&m.queue_rejections, 1);
+        Metrics::add(&m.reaped_idle, 2);
+        Metrics::add(&m.shed_predicted_slo, 4);
         m.record_routing(1000, 10, 100);
         m.record_routing(3000, 10, 300);
+        m.predicted_wait_ms.observe(3);
+        m.predicted_wait_ms.observe(40);
+        m.predicted_wait_ms.observe(9999);
         let text = m.render(
             GaugeSnapshot {
                 queue_depth: 2,
@@ -305,6 +454,8 @@ mod tests {
                 devices: 1,
                 fleets: 0,
                 draining: false,
+                open_connections: 17,
+                max_connections: 4096,
             },
             DeviceCacheStats::default(),
         );
@@ -318,6 +469,47 @@ mod tests {
         assert!(text.contains("sabre_serve_last_route_ns_per_step 300"));
         assert!(text.contains("# TYPE sabre_serve_queue_depth gauge"));
         assert!(text.contains("# TYPE sabre_serve_requests_total counter"));
+        assert!(text.contains("sabre_serve_open_connections 17"));
+        assert!(text.contains("sabre_serve_max_connections 4096"));
+        assert!(text.contains("sabre_serve_connections_reaped_total{reason=\"idle\"} 2"));
+        assert!(text.contains("sabre_serve_connections_reaped_total{reason=\"read_deadline\"} 0"));
+        // queue_full mirrors the legacy counter.
+        assert!(text.contains("sabre_serve_admission_rejections_total{kind=\"queue_full\"} 1"));
+        assert!(text.contains("sabre_serve_admission_rejections_total{kind=\"predicted_slo\"} 4"));
+        assert!(text.contains("sabre_serve_admission_rejections_total{kind=\"rate_limited\"} 0"));
+        assert!(text.contains("sabre_serve_admission_rejections_total{kind=\"table_full\"} 0"));
+        assert_eq!(m.avg_ns_per_step(), 200);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::default();
+        m.predicted_wait_ms.observe(0); // le="1"
+        m.predicted_wait_ms.observe(1); // le="1" (bounds are inclusive)
+        m.predicted_wait_ms.observe(30); // le="50"
+        m.predicted_wait_ms.observe(1_000_000); // +Inf overflow
+        assert_eq!(m.predicted_wait_ms.count(), 4);
+        let text = m.render(
+            GaugeSnapshot {
+                queue_depth: 0,
+                queue_capacity: 1,
+                workers: 0,
+                devices: 0,
+                fleets: 0,
+                draining: false,
+                open_connections: 0,
+                max_connections: 1,
+            },
+            DeviceCacheStats::default(),
+        );
+        assert!(text.contains("# TYPE sabre_serve_admission_predicted_wait_ms histogram"));
+        assert!(text.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"1\"} 2"));
+        assert!(text.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"5\"} 2"));
+        assert!(text.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"50\"} 3"));
+        assert!(text.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"5000\"} 3"));
+        assert!(text.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("sabre_serve_admission_predicted_wait_ms_sum 1000031"));
+        assert!(text.contains("sabre_serve_admission_predicted_wait_ms_count 4"));
     }
 
     #[test]
@@ -331,6 +523,8 @@ mod tests {
                 devices: 0,
                 fleets: 0,
                 draining: true,
+                open_connections: 0,
+                max_connections: 16,
             },
             DeviceCacheStats::default(),
         );

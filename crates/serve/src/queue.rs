@@ -23,7 +23,11 @@ pub enum PushError<T> {
 }
 
 struct Inner<T> {
-    items: VecDeque<T>,
+    items: VecDeque<(T, u64)>,
+    /// Sum of the queued items' admission-time cost estimates (predicted
+    /// routing steps). Admission control models queue drain time as
+    /// `pending_cost × avg ns-per-step`; unweighted pushes cost 0.
+    pending_cost: u64,
     closed: bool,
 }
 
@@ -48,6 +52,7 @@ impl<T> BoundedQueue<T> {
             capacity,
             inner: Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity),
+                pending_cost: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -62,6 +67,17 @@ impl<T> BoundedQueue<T> {
     /// [`close`](Self::close)/[`close_now`](Self::close_now) — both return
     /// the rejected item.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        self.try_push_weighted(item, 0)
+    }
+
+    /// [`try_push`](Self::try_push) with an admission-time cost estimate
+    /// (predicted routing steps) that is added to
+    /// [`pending_cost`](Self::pending_cost) until the item is popped.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_push`](Self::try_push).
+    pub fn try_push_weighted(&self, item: T, cost: u64) -> Result<usize, PushError<T>> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.closed {
             return Err(PushError::Closed(item));
@@ -69,7 +85,8 @@ impl<T> BoundedQueue<T> {
         if inner.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        inner.items.push_back(item);
+        inner.items.push_back((item, cost));
+        inner.pending_cost += cost;
         self.not_empty.notify_one();
         Ok(inner.items.len())
     }
@@ -77,16 +94,30 @@ impl<T> BoundedQueue<T> {
     /// Blocking pop in FIFO order. Returns `None` once the queue is closed
     /// **and** drained — the worker-thread exit signal.
     pub fn pop(&self) -> Option<T> {
+        self.pop_weighted().map(|(item, _)| item)
+    }
+
+    /// [`pop`](Self::pop) that also returns the cost the item was pushed
+    /// with, already subtracted from [`pending_cost`](Self::pending_cost)
+    /// (the popped item is *in flight*, no longer *pending*; the service
+    /// tracks in-flight cost separately).
+    pub fn pop_weighted(&self) -> Option<(T, u64)> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = inner.items.pop_front() {
-                return Some(item);
+            if let Some((item, cost)) = inner.items.pop_front() {
+                inner.pending_cost -= cost;
+                return Some((item, cost));
             }
             if inner.closed {
                 return None;
             }
             inner = self.not_empty.wait(inner).expect("queue poisoned");
         }
+    }
+
+    /// Sum of the queued items' admission-time cost estimates.
+    pub fn pending_cost(&self) -> u64 {
+        self.inner.lock().expect("queue poisoned").pending_cost
     }
 
     /// Closes for new pushes; already-admitted items stay poppable
@@ -102,7 +133,8 @@ impl<T> BoundedQueue<T> {
     pub fn close_now(&self) -> Vec<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         inner.closed = true;
-        let pending = inner.items.drain(..).collect();
+        inner.pending_cost = 0;
+        let pending = inner.items.drain(..).map(|(item, _)| item).collect();
         self.not_empty.notify_all();
         pending
     }
@@ -173,6 +205,25 @@ mod tests {
         q.close();
         let seen = consumer.join().unwrap();
         assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_pushes_track_pending_cost() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.pending_cost(), 0);
+        q.try_push_weighted("light", 10).unwrap();
+        q.try_push_weighted("heavy", 1000).unwrap();
+        q.try_push("free").unwrap();
+        assert_eq!(q.pending_cost(), 1010);
+        assert_eq!(q.pop_weighted(), Some(("light", 10)));
+        assert_eq!(q.pending_cost(), 1000);
+        assert_eq!(q.pop(), Some("heavy"));
+        assert_eq!(q.pending_cost(), 0);
+        assert_eq!(q.pop_weighted(), Some(("free", 0)));
+        // close_now resets the gauge along with the items.
+        q.try_push_weighted("late", 77).unwrap();
+        assert_eq!(q.close_now(), vec!["late"]);
+        assert_eq!(q.pending_cost(), 0);
     }
 
     #[test]

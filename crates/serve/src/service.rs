@@ -1,35 +1,44 @@
 //! The long-running routing service: device registry, bounded job queue,
-//! worker pool, HTTP dispatch, and graceful shutdown.
+//! worker pool, HTTP dispatch, admission control, and graceful shutdown.
 //!
 //! # Architecture
 //!
 //! ```text
-//!          accept thread             worker pool (config.workers)
-//!   TcpListener ──► conn thread ──► BoundedQueue ──► route()/transpile_batch_cached()
-//!                   (parse+admit)    (backpressure)        │
-//!                        ▲                                 │ fills
-//!                        └───────── JobSlot ◄──────────────┘
-//!                     (blocks until the worker responds)
+//!        reactor thread (poll loop)          worker pool (config.workers)
+//!   TcpListener ──► connection table ──► BoundedQueue ──► route()/transpile_batch_cached()
+//!                   (parse + admit)       (weighted,            │
+//!                        ▲                 backpressure)        │ completions
+//!                        └──────── waker ◄──────────────────────┘
+//!                          (token, Response) pairs, written when
+//!                           the client's socket is ready
 //! ```
 //!
-//! Connection threads do the cheap work — HTTP parsing, JSON validation,
-//! device lookup — and **admit** a job; a full queue is an immediate
-//! `503 + Retry-After` (no unbounded buffering, the ROADMAP's
-//! backpressure requirement). Worker threads do the expensive work
-//! against a process-wide [`DeviceCache`], so every request shares the
-//! same preprocessed matrices and embedding verdicts, and a
-//! `POST /devices/{id}/noise` refresh recomputes only the noise-weighted
-//! matrix — subsequent requests route with the new calibration without a
-//! restart.
+//! The reactor ([`crate::reactor`]) owns every socket and does the cheap
+//! work — incremental HTTP parsing, JSON validation, device lookup — and
+//! **admits** jobs. Admission is metrics-driven: each job is priced in
+//! search steps, and when the modeled queue drain (backlog × live
+//! ns-per-step ÷ workers) exceeds the configured SLO the request gets a
+//! priced `429` carrying the projected wait; a full queue is a
+//! `503 + Retry-After` computed from the same model (config floor). No
+//! unbounded buffering — the ROADMAP's backpressure requirement.
+//!
+//! Worker threads do the expensive work against a process-wide
+//! [`DeviceCache`], so every request shares the same preprocessed
+//! matrices and embedding verdicts, and a `POST /devices/{id}/noise`
+//! refresh recomputes only the noise-weighted matrix — subsequent
+//! requests route with the new calibration without a restart. Workers
+//! never touch sockets: a finished job is pushed as a
+//! `(connection token, Response)` completion and the reactor is woken to
+//! deliver it.
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use sabre::{transpile_batch_cached, DeviceCache, SabreConfig, TranspileOptions};
 use sabre_circuit::Circuit;
@@ -38,21 +47,13 @@ use sabre_shard::{route_sharded, Fleet, ShardConfig};
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::{CouplingGraph, DistanceBackend};
 
+use crate::admission::{self, RateLimiter};
 use crate::api::{self, ApiError};
-use crate::http::{self, Request, Response};
+use crate::http::{Request, Response};
 use crate::metrics::{GaugeSnapshot, Metrics};
 use crate::queue::{BoundedQueue, PushError};
+use crate::reactor::{self, Waker};
 use crate::ServeConfig;
-
-/// How long shutdown waits for in-flight connection threads to finish
-/// writing their responses.
-const CONNECTION_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
-/// Per-connection socket read timeout (slow-client guard).
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
-/// How long a kept-alive connection may sit idle between requests before
-/// the server hangs up — kept below [`CONNECTION_DRAIN_TIMEOUT`] so idle
-/// keep-alive clients cannot stall a graceful shutdown.
-const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Why [`crate::start`] failed.
 #[derive(Debug)]
@@ -81,10 +82,11 @@ struct RegisteredDevice {
     noise: Option<NoiseModel>,
 }
 
-/// One admitted unit of work.
-struct Job {
+/// One admitted unit of work, tagged with the connection it answers.
+pub(crate) struct Job {
     kind: JobKind,
-    slot: Arc<JobSlot>,
+    /// The reactor connection-table token awaiting this job's response.
+    pub(crate) token: u64,
     admitted: Instant,
 }
 
@@ -113,89 +115,30 @@ enum JobKind {
     },
 }
 
-/// The rendezvous between the admitting connection thread and the worker
-/// that executes the job.
-struct JobSlot {
-    response: Mutex<Option<Response>>,
-    done: Condvar,
-}
-
-impl JobSlot {
-    fn new() -> Self {
-        JobSlot {
-            response: Mutex::new(None),
-            done: Condvar::new(),
-        }
-    }
-
-    fn fill(&self, response: Response) {
-        *self.response.lock().expect("job slot poisoned") = Some(response);
-        self.done.notify_all();
-    }
-
-    fn wait(&self) -> Response {
-        let mut slot = self.response.lock().expect("job slot poisoned");
-        loop {
-            if let Some(response) = slot.take() {
-                return response;
-            }
-            slot = self.done.wait(slot).expect("job slot poisoned");
-        }
-    }
-}
-
-/// Counts live connection-handler threads so shutdown can wait for
-/// responses in flight.
-#[derive(Default)]
-struct ConnTracker {
-    active: Mutex<usize>,
-    idle: Condvar,
-}
-
-impl ConnTracker {
-    fn enter(&self) {
-        *self.active.lock().expect("conn tracker poisoned") += 1;
-    }
-
-    fn exit(&self) {
-        let mut active = self.active.lock().expect("conn tracker poisoned");
-        *active -= 1;
-        if *active == 0 {
-            self.idle.notify_all();
-        }
-    }
-
-    fn wait_idle(&self, timeout: Duration) {
-        let deadline = Instant::now() + timeout;
-        let mut active = self.active.lock().expect("conn tracker poisoned");
-        while *active > 0 {
-            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                return;
-            };
-            let (guard, _) = self
-                .idle
-                .wait_timeout(active, remaining)
-                .expect("conn tracker poisoned");
-            active = guard;
-        }
-    }
-}
-
 /// Shared state of one server instance.
-struct RoutingService {
-    config: ServeConfig,
+pub(crate) struct RoutingService {
+    pub(crate) config: ServeConfig,
     cache: DeviceCache,
     devices: RwLock<HashMap<String, RegisteredDevice>>,
     /// Named fleets: ordered device-id lists for `POST /route_sharded`.
     fleets: RwLock<HashMap<String, Vec<String>>>,
     queue: BoundedQueue<Job>,
-    metrics: Metrics,
-    connections: ConnTracker,
-    draining: AtomicBool,
+    pub(crate) metrics: Metrics,
+    /// Finished jobs awaiting delivery by the reactor.
+    pub(crate) completions: Mutex<Vec<(u64, Response)>>,
+    /// Nudges the reactor out of `poll` when a completion lands.
+    waker: Waker,
+    /// Estimated steps of jobs popped but not yet finished — the
+    /// in-flight half of the admission model's backlog (the queued half
+    /// is [`BoundedQueue::pending_cost`]).
+    inflight_cost: AtomicU64,
+    /// Live connection-table size, mirrored by the reactor for gauges.
+    pub(crate) open_connections: AtomicUsize,
+    pub(crate) draining: AtomicBool,
 }
 
 impl RoutingService {
-    fn new(config: ServeConfig) -> Self {
+    fn new(config: ServeConfig, waker: Waker) -> Self {
         let queue = BoundedQueue::new(config.queue_capacity);
         RoutingService {
             config,
@@ -204,7 +147,10 @@ impl RoutingService {
             fleets: RwLock::new(HashMap::new()),
             queue,
             metrics: Metrics::default(),
-            connections: ConnTracker::default(),
+            completions: Mutex::new(Vec::new()),
+            waker,
+            inflight_cost: AtomicU64::new(0),
+            open_connections: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         }
     }
@@ -217,6 +163,8 @@ impl RoutingService {
             devices: self.devices.read().expect("device registry poisoned").len(),
             fleets: self.fleets.read().expect("fleet registry poisoned").len(),
             draining: self.draining.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            max_connections: self.config.max_connections,
         }
     }
 
@@ -229,6 +177,32 @@ impl RoutingService {
         })?;
         Ok((device.graph.clone(), device.noise.clone()))
     }
+
+    /// Hands a finished job's response to the reactor for delivery.
+    pub(crate) fn complete(&self, token: u64, response: Response) {
+        self.completions
+            .lock()
+            .expect("completion list poisoned")
+            .push((token, response));
+        self.waker.wake();
+    }
+
+    /// The admission model's backlog: estimated steps queued plus in
+    /// flight.
+    fn backlog_steps(&self) -> u64 {
+        self.queue
+            .pending_cost()
+            .saturating_add(self.inflight_cost.load(Ordering::Relaxed))
+    }
+
+    /// Modeled time to drain the current backlog, from live throughput.
+    fn modeled_drain_ns(&self) -> u64 {
+        admission::modeled_wait_ns(
+            self.backlog_steps(),
+            self.metrics.avg_ns_per_step(),
+            self.config.workers,
+        )
+    }
 }
 
 /// A running server. Dropping the handle aborts the server
@@ -237,7 +211,7 @@ impl RoutingService {
 pub struct ServerHandle {
     addr: SocketAddr,
     service: Arc<RoutingService>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -248,9 +222,9 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, let the workers **drain every
-    /// admitted job** (their clients get real responses), then wait for
-    /// in-flight connections. Jobs still queued when no worker exists
-    /// (frozen pool) are failed with `503`.
+    /// admitted job** (their clients get real responses), then let the
+    /// reactor flush in-flight responses. Jobs still queued when no
+    /// worker exists (frozen pool) are failed with `503`.
     pub fn shutdown(mut self) {
         self.stop(false);
     }
@@ -292,15 +266,11 @@ impl ServerHandle {
 
     fn stop(&mut self, abort: bool) {
         self.service.draining.store(true, Ordering::Release);
-        // Wake the blocking `accept` with a loopback connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept_thread.take() {
-            let _ = accept.join();
-        }
+        self.service.waker.wake();
         if abort {
             for job in self.service.queue.close_now() {
-                job.slot
-                    .fill(unavailable(&self.service, "service is shutting down"));
+                let response = unavailable(&self.service, "service is shutting down");
+                self.service.complete(job.token, response);
             }
         } else {
             self.service.queue.close();
@@ -311,10 +281,15 @@ impl ServerHandle {
         // With a frozen pool (workers == 0) a graceful close drains
         // nothing; fail whatever is left so no client hangs.
         for job in self.service.queue.close_now() {
-            job.slot
-                .fill(unavailable(&self.service, "service is shutting down"));
+            let response = unavailable(&self.service, "service is shutting down");
+            self.service.complete(job.token, response);
         }
-        self.service.connections.wait_idle(CONNECTION_DRAIN_TIMEOUT);
+        // Every job is now resolved; the reactor exits once the last
+        // response is flushed (or the drain deadline reaps stragglers).
+        self.service.waker.wake();
+        if let Some(reactor) = self.reactor_thread.take() {
+            let _ = reactor.join();
+        }
     }
 }
 
@@ -325,7 +300,7 @@ impl Drop for ServerHandle {
 }
 
 /// Starts a server for `config` and returns its handle. The listener, the
-/// worker pool, and the device cache live until shutdown.
+/// reactor, the worker pool, and the device cache live until shutdown.
 ///
 /// # Errors
 ///
@@ -334,8 +309,10 @@ impl Drop for ServerHandle {
 pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
     config.validate().map_err(ServeError::Config)?;
     let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
+    listener.set_nonblocking(true).map_err(ServeError::Io)?;
     let addr = listener.local_addr().map_err(ServeError::Io)?;
-    let service = Arc::new(RoutingService::new(config));
+    let (waker, waker_rx) = reactor::waker_pair().map_err(ServeError::Io)?;
+    let service = Arc::new(RoutingService::new(config, waker));
 
     let workers = (0..service.config.workers)
         .map(|i| {
@@ -346,126 +323,53 @@ pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
                 .expect("spawning a worker thread")
         })
         .collect();
-    let accept_thread = {
+    let reactor_thread = {
         let service = Arc::clone(&service);
         thread::Builder::new()
-            .name("sabre-serve-accept".into())
-            .spawn(move || accept_loop(listener, &service))
-            .expect("spawning the accept thread")
+            .name("sabre-serve-reactor".into())
+            .spawn(move || reactor::run(service, listener, waker_rx))
+            .expect("spawning the reactor thread")
     };
 
     Ok(ServerHandle {
         addr,
         service,
-        accept_thread: Some(accept_thread),
+        reactor_thread: Some(reactor_thread),
         workers,
     })
 }
 
-fn accept_loop(listener: TcpListener, service: &Arc<RoutingService>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if service.draining.load(Ordering::Acquire) {
-                    // The shutdown wake-up (or a client racing it): close
-                    // without a response and stop accepting.
-                    break;
-                }
-                service.connections.enter();
-                let conn_service = Arc::clone(service);
-                let spawned = thread::Builder::new()
-                    .name("sabre-serve-conn".into())
-                    .spawn(move || {
-                        handle_connection(&conn_service, stream);
-                        conn_service.connections.exit();
-                    });
-                if let Err(e) = spawned {
-                    // Thread exhaustion: nothing handled the connection.
-                    service.connections.exit();
-                    eprintln!("sabre-serve: cannot spawn connection thread: {e}");
-                }
-            }
-            Err(_) => {
-                if service.draining.load(Ordering::Acquire) {
-                    break;
-                }
-            }
-        }
-    }
+/// What dispatch decided about a request.
+pub(crate) enum Outcome {
+    /// Answer now (inline endpoints, errors, rejections).
+    Respond(Response),
+    /// A job was queued; the response arrives as a completion for the
+    /// connection's token.
+    Queued,
 }
 
-/// Serves up to `max_requests_per_connection` requests on one connection
-/// (HTTP/1.1 keep-alive): bytes pipelined past one request carry over to
-/// the next read, and the final allowed response — or any response the
-/// client negotiated down, or one sent while draining — says
-/// `Connection: close`.
-fn handle_connection(service: &Arc<RoutingService>, mut stream: TcpStream) {
-    use std::io::Read as _;
-
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let mut carry = Vec::new();
-    for served in 1..=service.config.max_requests_per_connection {
-        match http::read_request_buffered(&mut stream, &mut carry, service.config.max_body_bytes) {
-            Ok(request) => {
-                let keep = request.wants_keep_alive()
-                    && served < service.config.max_requests_per_connection
-                    && !service.draining.load(Ordering::Acquire);
-                let mut response = dispatch(service, &request);
-                if keep {
-                    response = response.keep_alive();
-                }
-                if response.write_to(&mut stream).is_err() || !keep {
-                    return;
-                }
-                // Between requests, idle time is bounded tighter than the
-                // in-request read timeout so parked keep-alive clients
-                // release this thread (and never stall shutdown's drain).
-                // The wait is a 1-byte peek: once the next request's first
-                // bytes arrive, the full in-request timeout is restored so
-                // slow but live clients get the same budget as a fresh
-                // connection. Pipelined bytes already in `carry` skip the
-                // wait entirely.
-                if carry.is_empty() {
-                    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE_TIMEOUT));
-                    match stream.peek(&mut [0u8; 1]) {
-                        Ok(n) if n > 0 => {}
-                        _ => return, // idle timeout or EOF: close quietly
-                    }
-                    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-                }
-            }
-            Err(error) => {
-                let Some(response) = error.response() else {
-                    return; // peer vanished or went idle; nothing to write
-                };
-                let _ = response.write_to(&mut stream);
-                // The request was rejected before its body was consumed
-                // (e.g. 413). Closing now would RST the connection and
-                // destroy the response before the client reads it — drain
-                // what the client is still sending. Both a wall-clock
-                // deadline and a byte cap bound the drain (the per-read
-                // timeout alone would let a slow-drip client pin this
-                // thread forever).
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-                let deadline = Instant::now() + Duration::from_secs(2);
-                let mut drained = 0usize;
-                let mut sink = [0u8; 4096];
-                while drained < 1 << 20 && Instant::now() < deadline {
-                    match stream.read(&mut sink) {
-                        Ok(n) if n > 0 => drained += n,
-                        _ => break,
-                    }
-                }
-                return;
-            }
-        }
-    }
+/// Reactor-side context for admission decisions.
+pub(crate) struct AdmitCtx<'a> {
+    /// The client's address, keying the per-client rate limiter.
+    pub(crate) peer: IpAddr,
+    /// The connection-table token a queued job must answer.
+    pub(crate) token: u64,
+    /// The reactor-owned token-bucket table.
+    pub(crate) limiter: &'a mut RateLimiter,
 }
 
-fn dispatch(service: &Arc<RoutingService>, request: &Request) -> Response {
+/// Routes one parsed request. Cheap endpoints (health, metrics,
+/// registration, listings) are answered inline on the reactor thread;
+/// routing work is priced, admission-checked, and queued for the worker
+/// pool.
+pub(crate) fn dispatch(
+    service: &RoutingService,
+    request: &Request,
+    ctx: &mut AdmitCtx<'_>,
+) -> Outcome {
     let segments = request.path_segments();
     let m = &service.metrics;
-    match (request.method.as_str(), segments.as_slice()) {
+    let response = match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             Metrics::add(&m.requests_healthz, 1);
             healthz(service)
@@ -490,15 +394,15 @@ fn dispatch(service: &Arc<RoutingService>, request: &Request) -> Response {
         }
         ("POST", ["route"]) => {
             Metrics::add(&m.requests_route, 1);
-            admit_route(service, request)
+            return admit_job(service, request, ctx, parse_route_request);
         }
         ("POST", ["route_sharded"]) => {
             Metrics::add(&m.requests_sharded, 1);
-            admit_sharded(service, request)
+            return admit_job(service, request, ctx, parse_sharded_request);
         }
         ("POST", ["transpile_batch"]) => {
             Metrics::add(&m.requests_batch, 1);
-            admit_batch(service, request)
+            return admit_job(service, request, ctx, parse_batch_request);
         }
         (
             _,
@@ -507,7 +411,8 @@ fn dispatch(service: &Arc<RoutingService>, request: &Request) -> Response {
         )
         | (_, ["devices", _, "noise"]) => Response::error(405, "method not allowed on this path"),
         _ => Response::error(404, "no such endpoint"),
-    }
+    };
+    Outcome::Respond(response)
 }
 
 fn healthz(service: &RoutingService) -> Response {
@@ -740,18 +645,6 @@ fn list_fleets(service: &RoutingService) -> Response {
     )
 }
 
-fn admit_sharded(service: &RoutingService, request: &Request) -> Response {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
-    };
-    let kind = match parse_sharded_request(service, &body) {
-        Ok(kind) => kind,
-        Err(e) => return Response::error(e.status, &e.message),
-    };
-    submit(service, kind)
-}
-
 /// Resolves a `/route_sharded` body: the member devices (either a
 /// registered `"fleet"` id or an inline `"devices"` list), the circuit,
 /// and the shard configuration.
@@ -809,18 +702,6 @@ fn parse_sharded_request(service: &RoutingService, body: &JsonValue) -> Result<J
     })
 }
 
-fn admit_route(service: &RoutingService, request: &Request) -> Response {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
-    };
-    let kind = match parse_route_request(service, &body) {
-        Ok(kind) => kind,
-        Err(e) => return Response::error(e.status, &e.message),
-    };
-    submit(service, kind)
-}
-
 fn parse_route_request(service: &RoutingService, body: &JsonValue) -> Result<JobKind, ApiError> {
     api::as_object(body)?;
     let device_id = body
@@ -848,18 +729,6 @@ fn parse_route_request(service: &RoutingService, body: &JsonValue) -> Result<Job
         config,
         include_physical,
     })
-}
-
-fn admit_batch(service: &RoutingService, request: &Request) -> Response {
-    let body = match parse_body(request) {
-        Ok(body) => body,
-        Err(response) => return response,
-    };
-    let kind = match parse_batch_request(service, &body) {
-        Ok(kind) => kind,
-        Err(e) => return Response::error(e.status, &e.message),
-    };
-    submit(service, kind)
 }
 
 fn parse_batch_request(service: &RoutingService, body: &JsonValue) -> Result<JobKind, ApiError> {
@@ -910,42 +779,124 @@ fn parse_batch_request(service: &RoutingService, body: &JsonValue) -> Result<Job
     })
 }
 
-/// Admission: try to enqueue, answer `503 + Retry-After` when the queue
-/// is full, block on the slot otherwise.
-fn submit(service: &RoutingService, kind: JobKind) -> Response {
-    let slot = Arc::new(JobSlot::new());
+/// The shared front door for the three job endpoints: rate limit first
+/// (cheapest check, before any JSON work), then parse, then priced
+/// admission.
+fn admit_job(
+    service: &RoutingService,
+    request: &Request,
+    ctx: &mut AdmitCtx<'_>,
+    parse: impl FnOnce(&RoutingService, &JsonValue) -> Result<JobKind, ApiError>,
+) -> Outcome {
+    if ctx.limiter.enabled() && !ctx.limiter.allow(ctx.peer, Instant::now()) {
+        Metrics::add(&service.metrics.shed_rate_limited, 1);
+        return Outcome::Respond(api::too_many_requests(
+            "rate limit exceeded for this client",
+            0,
+            u64::from(service.config.retry_after_secs),
+        ));
+    }
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return Outcome::Respond(response),
+    };
+    let kind = match parse(service, &body) {
+        Ok(kind) => kind,
+        Err(e) => return Outcome::Respond(Response::error(e.status, &e.message)),
+    };
+    admit(service, kind, ctx)
+}
+
+/// Predicted-cost admission: price the backlog at the live per-step
+/// pace; answer `429 + projected wait` when the model says the job would
+/// blow the SLO, `503 + Retry-After` when the queue is full, and queue
+/// the weighted job otherwise.
+fn admit(service: &RoutingService, kind: JobKind, ctx: &mut AdmitCtx<'_>) -> Outcome {
+    let cost = job_cost(&kind);
+    let wait_ms = service.modeled_drain_ns() / 1_000_000;
+    // Observed for every priced request, accepted or not, so the
+    // histogram shows the wait distribution clients actually see.
+    service.metrics.predicted_wait_ms.observe(wait_ms);
+    let slo_ms = service.config.admission_slo_ms;
+    if slo_ms > 0 && wait_ms > slo_ms {
+        Metrics::add(&service.metrics.shed_predicted_slo, 1);
+        return Outcome::Respond(api::too_many_requests(
+            &format!("predicted queue wait {wait_ms}ms exceeds the admission SLO ({slo_ms}ms)"),
+            wait_ms,
+            u64::from(service.config.retry_after_secs),
+        ));
+    }
     let job = Job {
         kind,
-        slot: Arc::clone(&slot),
+        token: ctx.token,
         admitted: Instant::now(),
     };
-    match service.queue.try_push(job) {
+    match service.queue.try_push_weighted(job, cost) {
         Ok(_depth) => {
             Metrics::add(&service.metrics.jobs_admitted, 1);
-            slot.wait()
+            Outcome::Queued
         }
         Err(PushError::Full(_)) => {
             Metrics::add(&service.metrics.queue_rejections, 1);
-            unavailable(service, "routing queue is full")
+            Outcome::Respond(unavailable(service, "routing queue is full"))
         }
-        Err(PushError::Closed(_)) => unavailable(service, "service is shutting down"),
+        Err(PushError::Closed(_)) => {
+            Outcome::Respond(unavailable(service, "service is shutting down"))
+        }
     }
 }
 
-/// The standard `503`: JSON error body plus `Retry-After`.
-fn unavailable(service: &RoutingService, message: &str) -> Response {
-    Response::error(503, message)
-        .with_header("Retry-After", service.config.retry_after_secs.to_string())
+/// A job's price in estimated search steps — the unit the admission
+/// model and the live `avg_ns_per_step` throughput share.
+fn job_cost(kind: &JobKind) -> u64 {
+    match kind {
+        JobKind::Route {
+            circuit, config, ..
+        } => admission::estimate_steps(
+            circuit.num_two_qubit_gates(),
+            config.num_restarts,
+            config.num_traversals,
+        ),
+        JobKind::Batch {
+            circuits, options, ..
+        } => circuits.iter().fold(0u64, |total, circuit| {
+            total.saturating_add(admission::estimate_steps(
+                circuit.num_two_qubit_gates(),
+                options.config.num_restarts,
+                options.config.num_traversals,
+            ))
+        }),
+        JobKind::Sharded {
+            circuit, config, ..
+        } => admission::estimate_steps(
+            circuit.num_two_qubit_gates(),
+            config.sabre.num_restarts,
+            config.sabre.num_traversals,
+        ),
+    }
+}
+
+/// The standard `503`: JSON error body plus `Retry-After` computed from
+/// the live drain model (config value as the floor), so a rejected
+/// client is told when capacity is actually expected.
+pub(crate) fn unavailable(service: &RoutingService, message: &str) -> Response {
+    let secs = u64::from(service.config.retry_after_secs)
+        .max(service.modeled_drain_ns().div_ceil(1_000_000_000));
+    Response::error(503, message).with_header("Retry-After", secs.to_string())
 }
 
 fn worker_loop(service: &Arc<RoutingService>) {
-    while let Some(job) = service.queue.pop() {
+    while let Some((job, cost)) = service.queue.pop_weighted() {
         Metrics::add(
             &service.metrics.queue_wait_ns_total,
             job.admitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         );
+        // The popped job's steps move from the queued half of the
+        // backlog to the in-flight half until it finishes.
+        service.inflight_cost.fetch_add(cost, Ordering::Relaxed);
         let response = catch_unwind(AssertUnwindSafe(|| execute(service, &job.kind)))
             .unwrap_or_else(|_| Response::error(500, "internal error executing the job"));
+        service.inflight_cost.fetch_sub(cost, Ordering::Relaxed);
         Metrics::add(
             if response.status() < 400 {
                 &service.metrics.jobs_completed
@@ -954,7 +905,7 @@ fn worker_loop(service: &Arc<RoutingService>) {
             },
             1,
         );
-        job.slot.fill(response);
+        service.complete(job.token, response);
     }
 }
 

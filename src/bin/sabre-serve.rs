@@ -3,6 +3,9 @@
 //! ```text
 //! sabre-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
 //!             [--retry-after SECS] [--max-body-bytes N] [--preload]
+//!             [--max-connections N] [--rate-limit PER_SEC] [--rate-limit-burst N]
+//!             [--admission-slo-ms MS] [--read-deadline-ms MS]
+//!             [--write-deadline-ms MS] [--idle-timeout-ms MS]
 //! ```
 //!
 //! `--preload` registers the fixed builtin devices (`tokyo20`, `qx5`,
@@ -22,7 +25,11 @@ const PRELOADED: [&str; 4] = ["tokyo20", "qx5", "qx2", "falcon27"];
 fn usage() -> ! {
     eprintln!(
         "usage: sabre-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
-         \x20                  [--retry-after SECS] [--max-body-bytes N] [--preload]"
+         \x20                  [--retry-after SECS] [--max-body-bytes N] [--preload]\n\
+         \x20                  [--max-connections N] [--rate-limit PER_SEC]\n\
+         \x20                  [--rate-limit-burst N] [--admission-slo-ms MS]\n\
+         \x20                  [--read-deadline-ms MS] [--write-deadline-ms MS]\n\
+         \x20                  [--idle-timeout-ms MS]"
     );
     exit(2);
 }
@@ -49,6 +56,28 @@ fn main() {
             }
             "--max-body-bytes" => {
                 config.max_body_bytes = parse(&value("--max-body-bytes"), "--max-body-bytes");
+            }
+            "--max-connections" => {
+                config.max_connections = parse(&value("--max-connections"), "--max-connections");
+            }
+            "--rate-limit" => {
+                config.rate_limit_per_sec = parse(&value("--rate-limit"), "--rate-limit");
+            }
+            "--rate-limit-burst" => {
+                config.rate_limit_burst = parse(&value("--rate-limit-burst"), "--rate-limit-burst");
+            }
+            "--admission-slo-ms" => {
+                config.admission_slo_ms = parse(&value("--admission-slo-ms"), "--admission-slo-ms");
+            }
+            "--read-deadline-ms" => {
+                config.read_deadline_ms = parse(&value("--read-deadline-ms"), "--read-deadline-ms");
+            }
+            "--write-deadline-ms" => {
+                config.write_deadline_ms =
+                    parse(&value("--write-deadline-ms"), "--write-deadline-ms");
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = parse(&value("--idle-timeout-ms"), "--idle-timeout-ms");
             }
             "--preload" => preload = true,
             "--help" | "-h" => usage(),

@@ -699,6 +699,29 @@ fn metrics_expose_per_step_routing_telemetry() {
     assert_eq!(metric("sabre_serve_queue_depth"), 0);
     assert!(after.contains("sabre_serve_requests_total{endpoint=\"route\"} 1"));
     assert!(after.contains("sabre_serve_cache_graph_hits_total"));
+    // Reactor + admission telemetry. This very request is being served
+    // over an open connection, so the gauge is live.
+    assert!(metric("sabre_serve_open_connections") >= 1);
+    assert!(metric("sabre_serve_max_connections") >= 1);
+    for reason in ["read_deadline", "write_deadline", "idle"] {
+        assert!(
+            after.contains(&format!(
+                "sabre_serve_connections_reaped_total{{reason=\"{reason}\"}}"
+            )),
+            "missing reap reason {reason}:\n{after}"
+        );
+    }
+    for kind in ["queue_full", "rate_limited", "predicted_slo", "table_full"] {
+        assert!(
+            after.contains(&format!(
+                "sabre_serve_admission_rejections_total{{kind=\"{kind}\"}}"
+            )),
+            "missing rejection kind {kind}:\n{after}"
+        );
+    }
+    // The priced /route above observed its predicted wait.
+    assert!(metric("sabre_serve_admission_predicted_wait_ms_count") >= 1);
+    assert!(after.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"+Inf\"}"));
 
     let (status, health) = get_json(addr, "/healthz");
     assert_eq!(status, 200);

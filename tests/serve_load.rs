@@ -1,0 +1,205 @@
+//! Load shape of the reactor serving core: one thousand concurrent
+//! keep-alive connections served from a single poll loop.
+//!
+//! The test is `#[ignore]`d because it opens ~1k sockets and needs a
+//! raised fd limit; CI runs it explicitly in the `serve-load` job
+//! (`ulimit -n 8192 && cargo test --release --test serve_load -- --ignored`).
+//!
+//! Acceptance criteria pinned here:
+//! - the connection table holds ≥ 1024 simultaneously open keep-alive
+//!   connections (visible in the `sabre_serve_open_connections` gauge);
+//! - resident memory stays flat while they are parked and while they
+//!   issue several request rounds (no per-connection thread stacks);
+//! - request p99 latency stays bounded while the table is full.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+mod common;
+use common::http;
+
+use sabre_serve::{start, ServeConfig, ServerHandle};
+
+const THREADS: usize = 16;
+const CONNS_PER_THREAD: usize = 64;
+const TOTAL_CONNS: usize = THREADS * CONNS_PER_THREAD; // 1024
+const ROUNDS: usize = 3;
+
+/// RSS growth allowed across the whole run. 1024 blocking threads would
+/// cost ≥ 8 MiB of stacks *minimum* (and typically far more); the
+/// reactor's per-connection state is a few KiB.
+const RSS_GROWTH_LIMIT_KB: u64 = 48 * 1024;
+
+/// Per-request latency bound at p99. `/healthz` is answered inline on
+/// the reactor thread, so even with 1024 parked connections a request
+/// should never sit behind seconds of work.
+const P99_LIMIT: Duration = Duration::from_millis(750);
+
+fn server(config: ServeConfig) -> ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("start loopback server")
+}
+
+/// Resident set size of this process in kB (Linux); `None` elsewhere.
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+/// Current value of the `sabre_serve_open_connections` gauge.
+fn open_connections(addr: SocketAddr) -> u64 {
+    let (status, _, text) = http(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200, "GET /metrics");
+    text.lines()
+        .find_map(|l| l.strip_prefix("sabre_serve_open_connections "))
+        .map(|v| v.trim().parse().expect("gauge value"))
+        .unwrap_or(0)
+}
+
+/// Connects with a few retries: 16 threads dialing at once can
+/// transiently overflow the listen backlog.
+fn connect(addr: SocketAddr) -> TcpStream {
+    let mut last_err = None;
+    for _ in 0..20 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("read timeout");
+                return stream;
+            }
+            Err(e) => {
+                last_err = Some(e);
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    panic!("connect failed after retries: {last_err:?}");
+}
+
+/// Issues one keep-alive `GET /healthz` on an already-open connection
+/// and reads the full `Content-Length`-delimited response.
+fn round_trip(stream: &mut TcpStream) -> Duration {
+    let started = Instant::now();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: load\r\n\r\n")
+        .expect("write request");
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Find the end of the headers, then the declared body length.
+        if let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let headers = String::from_utf8_lossy(&buf[..header_end]);
+            assert!(
+                headers.starts_with("HTTP/1.1 200"),
+                "unexpected status line: {headers:.64}"
+            );
+            let body_len: usize = headers
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse().expect("content-length"))
+                })
+                .expect("response declares Content-Length");
+            if buf.len() >= header_end + 4 + body_len {
+                return started.elapsed();
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed a keep-alive connection mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[test]
+#[ignore = "load test — needs a raised fd limit; run via the CI serve-load job"]
+fn thousand_keep_alive_connections_stay_flat_and_fast() {
+    let handle = server(ServeConfig {
+        workers: 2,
+        max_connections: 2048,
+        max_requests_per_connection: 64,
+        idle_timeout_ms: 60_000,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Rendezvous points: [connected] and then one per request round, so
+    // RSS can be sampled while every connection is open and parked.
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(TOTAL_CONNS * ROUNDS)));
+    let clients: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let latencies = Arc::clone(&latencies);
+            thread::spawn(move || {
+                let mut conns: Vec<TcpStream> =
+                    (0..CONNS_PER_THREAD).map(|_| connect(addr)).collect();
+                barrier.wait(); // all threads connected
+                barrier.wait(); // main verified the gauge + sampled RSS
+                for _ in 0..ROUNDS {
+                    let mut timings = Vec::with_capacity(CONNS_PER_THREAD);
+                    for stream in &mut conns {
+                        timings.push(round_trip(stream));
+                    }
+                    latencies.lock().unwrap().extend(timings);
+                    barrier.wait(); // round done; main samples RSS
+                }
+                drop(conns);
+            })
+        })
+        .collect();
+
+    barrier.wait(); // all threads connected
+    let open = open_connections(addr);
+    assert!(
+        open >= TOTAL_CONNS as u64,
+        "only {open} connections open, wanted ≥ {TOTAL_CONNS}"
+    );
+    let rss_parked = rss_kb();
+    barrier.wait(); // release the request rounds
+    let mut rss_rounds = Vec::new();
+    for _ in 0..ROUNDS {
+        barrier.wait();
+        rss_rounds.push(rss_kb());
+    }
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // p99 over every request issued while the table held 1024 conns.
+    let mut latencies = Arc::try_unwrap(latencies)
+        .expect("all clients joined")
+        .into_inner()
+        .unwrap();
+    assert_eq!(latencies.len(), TOTAL_CONNS * ROUNDS);
+    latencies.sort();
+    let p99 = latencies[latencies.len() * 99 / 100];
+    assert!(
+        p99 <= P99_LIMIT,
+        "p99 {p99:?} exceeds {P99_LIMIT:?} (max {:?})",
+        latencies.last().unwrap()
+    );
+
+    // RSS must stay flat from "1024 parked" through every round.
+    if let (Some(parked), Some(&Some(last))) = (rss_parked, rss_rounds.last()) {
+        let growth = last.saturating_sub(parked);
+        assert!(
+            growth < RSS_GROWTH_LIMIT_KB,
+            "RSS grew {growth} kB across {ROUNDS} rounds \
+             (parked {parked} kB, final {last} kB)"
+        );
+    }
+
+    handle.shutdown();
+}

@@ -1,0 +1,438 @@
+//! Reactor-specific behavior of `sabre-serve`: the event-loop serving
+//! core that replaced thread-per-connection I/O.
+//!
+//! These pin the PR's acceptance criteria:
+//! - idle keep-alive connections are parked in the connection table, not
+//!   on threads, and are reaped by the idle timeout;
+//! - a slowloris client dripping bytes is reaped by the (absolute) read
+//!   deadline without stalling other clients;
+//! - a client that stops reading its response is reaped by the write
+//!   deadline;
+//! - per-client token buckets answer `429` under a configured rate;
+//! - predicted-cost admission answers a priced `429` (with
+//!   `projected_wait_ms`) when the modeled queue wait blows the SLO;
+//! - a full connection table answers a canned `503` at accept time.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+mod common;
+use common::{http, post_json};
+
+use sabre_circuit::{Circuit, Qubit};
+use sabre_json::JsonValue;
+use sabre_qasm::to_qasm;
+use sabre_serve::{start, ServeConfig, ServerHandle};
+
+fn server(config: ServeConfig) -> ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("start loopback server")
+}
+
+/// Registers a builtin device and asserts success.
+fn register(addr: SocketAddr, id: &str, builtin: &str) {
+    let (status, _) = post_json(
+        addr,
+        "/devices",
+        &JsonValue::object([("id", id.into()), ("builtin", builtin.into())]),
+    );
+    assert_eq!(status, 201, "registering {builtin}");
+}
+
+/// Current value of one rendered metric sample (`name` includes labels):
+/// `None` when `/metrics` itself was shed (e.g. a transiently full
+/// connection table), `Some(0)` when the line is absent.
+fn metric_opt(addr: SocketAddr, name: &str) -> Option<u64> {
+    // A shed connection may be reset mid-request, which the strict
+    // helper treats as fatal; here it just means "try again".
+    let (status, _, text) =
+        std::panic::catch_unwind(|| http(addr, "GET", "/metrics", None)).ok()?;
+    if status != 200 {
+        return None;
+    }
+    Some(
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .map(|v| v.trim().parse().expect("metric value"))
+            .unwrap_or(0),
+    )
+}
+
+/// Like [`metric_opt`], but `/metrics` must answer.
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    metric_opt(addr, name).expect("GET /metrics was rejected")
+}
+
+/// Polls a metric until it reaches `target` (panics after `timeout`).
+/// Shed probes are retried, so the helper works while the connection
+/// table is draining.
+fn wait_for_metric(addr: SocketAddr, name: &str, target: u64, timeout: Duration) -> u64 {
+    let deadline = Instant::now() + timeout;
+    let mut last = None;
+    loop {
+        let value = metric_opt(addr, name);
+        if let Some(value) = value {
+            if value >= target {
+                return value;
+            }
+            last = Some(value);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{name} never reached {target} (last {last:?})"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Live thread count of this process (Linux); `None` elsewhere.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// A `/route` body for a small circuit that needs at least one SWAP.
+fn small_route_body(device: &str) -> JsonValue {
+    let mut circuit = Circuit::new(4);
+    circuit.cx(Qubit(0), Qubit(3));
+    JsonValue::object([
+        ("device", device.into()),
+        (
+            "circuit",
+            JsonValue::object([("qasm", to_qasm(&circuit).into())]),
+        ),
+    ])
+}
+
+/// Sixty-four parked keep-alive connections must cost table slots, not
+/// threads — and the idle timeout must reap every one of them.
+#[test]
+fn idle_keep_alive_connections_hold_no_threads() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        idle_timeout_ms: 1500,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let threads_before = thread_count();
+    let idle: Vec<TcpStream> = (0..64)
+        .map(|_| TcpStream::connect(addr).expect("connect idle client"))
+        .collect();
+    // All 64 are in the connection table (the probing connection itself
+    // is the 65th).
+    wait_for_metric(
+        addr,
+        "sabre_serve_open_connections",
+        64,
+        Duration::from_secs(10),
+    );
+
+    if let (Some(before), Some(after)) = (threads_before, thread_count()) {
+        // Thread-per-connection would add 64 here. Unrelated suite tests
+        // run concurrently in this process, so allow slack well below
+        // that signal.
+        assert!(
+            after <= before + 16,
+            "64 idle connections grew the thread count {before} -> {after}"
+        );
+    }
+
+    // Every parked connection is reaped by the idle deadline — the
+    // sockets are still open on our side, so these are server-initiated.
+    wait_for_metric(
+        addr,
+        "sabre_serve_connections_reaped_total{reason=\"idle\"}",
+        64,
+        Duration::from_secs(10),
+    );
+    let open = metric(addr, "sabre_serve_open_connections");
+    assert!(open <= 2, "idle connections still in the table: {open}");
+    drop(idle);
+    handle.shutdown();
+}
+
+/// A slowloris client dripping header bytes is reaped once the absolute
+/// read deadline expires, and never stalls a concurrent client.
+#[test]
+fn slowloris_is_reaped_by_the_read_deadline() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        read_deadline_ms: 600,
+        idle_timeout_ms: 30_000, // isolate the read deadline
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut slow = TcpStream::connect(addr).expect("connect slowloris");
+    slow.write_all(b"POST /route HTTP/1.1\r\n").unwrap();
+    let started = Instant::now();
+    // Drip one byte at a time — each write is progress, which must NOT
+    // extend the absolute per-request budget.
+    let dripper = thread::spawn({
+        let slow = slow.try_clone().unwrap();
+        move || {
+            for _ in 0..50 {
+                if (&slow).write_all(b"X").is_err() {
+                    return; // server hung up: exactly what we expect
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
+        }
+    });
+
+    // The victim is slow; everyone else is served meanwhile.
+    let (status, _, _) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "healthz stalled behind a slowloris client");
+
+    // The server closes the connection at the deadline: our read sees EOF.
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = Vec::new();
+    let _ = slow.read_to_end(&mut sink);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "slowloris survived {elapsed:?} despite a 600ms read deadline"
+    );
+    assert!(
+        metric(
+            addr,
+            "sabre_serve_connections_reaped_total{reason=\"read_deadline\"}"
+        ) >= 1
+    );
+    dripper.join().unwrap();
+    handle.shutdown();
+}
+
+/// A client that submits a job but never reads the (multi-megabyte)
+/// response is reaped by the write deadline once the socket buffers fill
+/// and write progress stops.
+#[test]
+fn stalled_reader_is_reaped_by_the_write_deadline() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        write_deadline_ms: 700,
+        max_body_bytes: 32 << 20,
+        idle_timeout_ms: 60_000,
+        read_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "t20", "tokyo20");
+
+    // A batch whose response dwarfs what loopback socket buffers absorb:
+    // 700 natively-mapped circuits of 500 CX gates each, echoed back as
+    // per-slot physical QASM (well past the ~4 MB the kernel buffers).
+    let mut circuit = Circuit::new(4);
+    for _ in 0..500 {
+        circuit.cx(Qubit(0), Qubit(1));
+    }
+    let qasm = to_qasm(&circuit);
+    let body = JsonValue::object([
+        ("device", "t20".into()),
+        (
+            "circuits",
+            (0..700)
+                .map(|_| JsonValue::object([("qasm", qasm.as_str().into())]))
+                .collect(),
+        ),
+        ("include_physical", true.into()),
+        // Without this the optimizer cancels the repeated CX pairs and
+        // the response collapses to a few KB.
+        ("skip_optimizer", true.into()),
+        (
+            "config",
+            JsonValue::object([("num_restarts", 1u64.into()), ("trials", 1u64.into())]),
+        ),
+    ])
+    .to_compact();
+
+    let mut stalled = TcpStream::connect(addr).expect("connect stalled reader");
+    let request = format!(
+        "POST /transpile_batch HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stalled.write_all(request.as_bytes()).unwrap();
+    // …and never read a single response byte.
+
+    wait_for_metric(
+        addr,
+        "sabre_serve_connections_reaped_total{reason=\"write_deadline\"}",
+        1,
+        Duration::from_secs(60),
+    );
+    drop(stalled);
+    handle.shutdown();
+}
+
+/// With a 1 req/s per-client budget (burst 2), a burst of routing
+/// requests sees the bucket drain: early requests succeed, the rest get
+/// `429` naming the rate limit.
+#[test]
+fn per_client_rate_limit_answers_429() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        rate_limit_per_sec: 1,
+        rate_limit_burst: 2,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "t20", "tokyo20");
+
+    let mut ok = 0;
+    let mut limited = 0;
+    for _ in 0..6 {
+        let (status, response) = post_json(addr, "/route", &small_route_body("t20"));
+        match status {
+            200 => ok += 1,
+            429 => {
+                limited += 1;
+                let error = response.get("error").and_then(JsonValue::as_str).unwrap();
+                assert!(error.contains("rate limit"), "{response}");
+            }
+            other => panic!("unexpected status {other}: {response}"),
+        }
+    }
+    assert!(ok >= 1, "the burst allowance admits the first requests");
+    assert!(limited >= 1, "the drained bucket rejects the rest");
+    assert!(
+        metric(
+            addr,
+            "sabre_serve_admission_rejections_total{kind=\"rate_limited\"}"
+        ) >= limited
+    );
+    // Registration and health stay exempt from the job-endpoint limiter.
+    let (status, _, _) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+/// Once live throughput telemetry exists, a backlog whose modeled drain
+/// exceeds the SLO is shed with a priced `429` carrying the projected
+/// wait.
+#[test]
+fn predicted_cost_admission_answers_priced_429() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        admission_slo_ms: 1,
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "line", "linear:16");
+
+    // Seed the throughput model: one completed job gives the admission
+    // controller a live avg ns-per-step.
+    let (status, response) = post_json(addr, "/route", &small_route_body("line"));
+    assert_eq!(status, 200, "{response}");
+
+    // One heavy job occupies the single worker; its estimated steps
+    // (gates × restarts × traversals) keep the modeled wait far above a
+    // 1ms SLO for its whole runtime. (A second heavy job would itself be
+    // priced out — which is the point of the model.)
+    let mut heavy = Circuit::new(16);
+    for r in 0..2000u32 {
+        heavy.cx(Qubit(r % 16), Qubit((r * 7 + 3) % 16));
+    }
+    let heavy_body = JsonValue::object([
+        ("device", "line".into()),
+        (
+            "circuit",
+            JsonValue::object([("qasm", to_qasm(&heavy).into())]),
+        ),
+        (
+            "config",
+            JsonValue::object([("num_restarts", 12u64.into())]),
+        ),
+        ("include_physical", false.into()),
+    ]);
+    let submitter = thread::spawn(move || post_json(addr, "/route", &heavy_body));
+
+    // Probe until the model trips. Accepted probes are tiny jobs, so
+    // they cannot drain the backlog below the SLO themselves.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let priced = loop {
+        let (status, response) = post_json(addr, "/route", &small_route_body("line"));
+        if status == 429 {
+            break response;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "modeled wait never exceeded the SLO (last status {status}: {response})"
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    let projected = priced
+        .get("projected_wait_ms")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("429 body lacks projected_wait_ms: {priced}"));
+    assert!(projected >= 1, "{priced}");
+    let error = priced.get("error").and_then(JsonValue::as_str).unwrap();
+    assert!(error.contains("SLO"), "{priced}");
+    assert!(
+        metric(
+            addr,
+            "sabre_serve_admission_rejections_total{kind=\"predicted_slo\"}"
+        ) >= 1
+    );
+
+    let (status, response) = submitter.join().unwrap();
+    assert_eq!(status, 200, "heavy job failed: {response}");
+    handle.shutdown();
+}
+
+/// When the connection table is full, a new socket gets a canned `503`
+/// (with `Retry-After`) at accept time and is closed immediately.
+#[test]
+fn full_connection_table_answers_canned_503() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        max_connections: 2,
+        idle_timeout_ms: 30_000,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let occupant_a = TcpStream::connect(addr).expect("occupant a");
+    let occupant_b = TcpStream::connect(addr).expect("occupant b");
+    // Both occupants must be *accepted* (in the table) before the third
+    // connection arrives; give the reactor a beat.
+    thread::sleep(Duration::from_millis(300));
+
+    let mut rejected = TcpStream::connect(addr).expect("third connection");
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    rejected
+        .read_to_end(&mut raw)
+        .expect("read canned response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 503"),
+        "expected a canned 503, got: {text}"
+    );
+    assert!(text.contains("Retry-After:"), "{text}");
+    assert!(text.contains("connection table is full"), "{text}");
+
+    // Free the table, then confirm the shed was counted.
+    drop(occupant_a);
+    drop(occupant_b);
+    let shed = wait_for_metric(
+        addr,
+        "sabre_serve_admission_rejections_total{kind=\"table_full\"}",
+        1,
+        Duration::from_secs(10),
+    );
+    assert!(shed >= 1);
+    handle.shutdown();
+}
