@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::fingerprint::Fingerprinter;
 use crate::{CircuitError, Gate, OneQubitKind, Params, Qubit, TwoQubitKind};
 
 /// An ordered list of gates over a register of `num_qubits` wires.
@@ -297,6 +298,101 @@ impl Circuit {
             .collect()
     }
 
+    /// Replaces the rotation angles of the gate at `idx`, keeping its kind
+    /// and operands — the in-place form of [`Gate::with_params`] used when
+    /// re-binding a cached routed plan to a new parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (and, in debug builds, if the
+    /// parameter count does not match the gate kind).
+    pub fn replace_params(&mut self, idx: usize, params: Params) {
+        self.gates[idx] = self.gates[idx].with_params(params);
+    }
+
+    /// Whether `other` has the same *structure* as `self`: same register
+    /// size and, gate for gate in program order, the same kind and operand
+    /// wires — rotation angles excluded. Two circuits with equal structure
+    /// have identical dependency DAGs and identical routing behavior (the
+    /// SWAP search never reads an angle), which is what lets a routed-plan
+    /// cache serve one circuit's plan for the other. Names are ignored,
+    /// like in the fingerprints.
+    pub fn same_structure(&self, other: &Circuit) -> bool {
+        self.num_qubits == other.num_qubits
+            && self.gates.len() == other.gates.len()
+            && self
+                .gates
+                .iter()
+                .zip(&other.gates)
+                .all(|(a, b)| a.same_structure(b))
+    }
+
+    /// Parameter-insensitive structural fingerprint: a stable 64-bit hash
+    /// of the register size and the ordered gate kinds + operand wires,
+    /// with rotation angles **excluded**. Circuits that differ only in
+    /// angles (the shape of variational workloads, which re-submit one
+    /// ansatz structure with thousands of parameter sets) hash identically;
+    /// [`Circuit::fingerprint`] is the companion that also folds the angles
+    /// in. The circuit name participates in neither.
+    ///
+    /// Collisions are possible (64-bit hash); cache layers must re-verify
+    /// with [`Circuit::same_structure`] on every hit.
+    ///
+    /// ```
+    /// use sabre_circuit::{Circuit, Qubit};
+    /// let mut a = Circuit::new(2);
+    /// a.rz(Qubit(0), 0.1);
+    /// let mut b = Circuit::new(2);
+    /// b.rz(Qubit(0), 2.7);
+    /// assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+    /// assert_ne!(a.fingerprint(), b.fingerprint());
+    /// ```
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new("sabre/circuit-structure/v1");
+        self.write_structure(&mut fp);
+        fp.finish()
+    }
+
+    /// Exact content fingerprint: like
+    /// [`Circuit::structural_fingerprint`], plus every rotation angle by
+    /// IEEE-754 bit pattern. Two circuits hash identically iff they have
+    /// the same register size and the same ordered gate list (name
+    /// excluded) — up to 64-bit hash collisions, so exact-match caches
+    /// must still re-verify with `==` on the gate lists.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new("sabre/circuit-exact/v1");
+        self.write_structure(&mut fp);
+        for gate in &self.gates {
+            for &angle in gate.params().as_slice() {
+                fp.write_f64(angle);
+            }
+        }
+        fp.finish()
+    }
+
+    /// The shared structural encoding of both fingerprints: register size,
+    /// gate count, then per gate an arity tag, the kind discriminant, and
+    /// the operand wire indices.
+    fn write_structure(&self, fp: &mut Fingerprinter) {
+        fp.write_u64(u64::from(self.num_qubits));
+        fp.write_u64(self.gates.len() as u64);
+        for gate in &self.gates {
+            match *gate {
+                Gate::One { kind, qubit, .. } => {
+                    fp.write_u64(1);
+                    fp.write_u64(kind as u64);
+                    fp.write_u64(u64::from(qubit.0));
+                }
+                Gate::Two { kind, a, b, .. } => {
+                    fp.write_u64(2);
+                    fp.write_u64(kind as u64);
+                    fp.write_u64(u64::from(a.0));
+                    fp.write_u64(u64::from(b.0));
+                }
+            }
+        }
+    }
+
     /// Summary statistics used by reports and tests.
     pub fn stats(&self) -> CircuitStats {
         CircuitStats {
@@ -532,6 +628,76 @@ mod tests {
         assert!(text.contains("n=4"));
         assert!(text.contains("g=6"));
         assert!(text.contains("d=5"));
+    }
+
+    #[test]
+    fn structural_fingerprint_ignores_angles_but_not_structure() {
+        let mut a = Circuit::new(3);
+        a.rz(Qubit(0), 0.1);
+        a.rzz(Qubit(0), Qubit(1), 0.2);
+        a.cx(Qubit(1), Qubit(2));
+        let mut b = Circuit::new(3);
+        b.rz(Qubit(0), -1.9);
+        b.rzz(Qubit(0), Qubit(1), 3.3);
+        b.cx(Qubit(1), Qubit(2));
+        assert!(a.same_structure(&b));
+        assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        // Operand change ⇒ different structure.
+        let mut c = Circuit::new(3);
+        c.rz(Qubit(1), 0.1);
+        c.rzz(Qubit(0), Qubit(1), 0.2);
+        c.cx(Qubit(1), Qubit(2));
+        assert!(!a.same_structure(&c));
+        assert_ne!(a.structural_fingerprint(), c.structural_fingerprint());
+
+        // Kind change ⇒ different structure, even at equal arity/operands.
+        let mut d = Circuit::new(3);
+        d.rz(Qubit(0), 0.1);
+        d.cp(Qubit(0), Qubit(1), 0.2);
+        d.cx(Qubit(1), Qubit(2));
+        assert_ne!(a.structural_fingerprint(), d.structural_fingerprint());
+
+        // Register size participates (same gates, wider register).
+        let mut e = Circuit::new(4);
+        e.rz(Qubit(0), 0.1);
+        e.rzz(Qubit(0), Qubit(1), 0.2);
+        e.cx(Qubit(1), Qubit(2));
+        assert_ne!(a.structural_fingerprint(), e.structural_fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_ignore_the_name() {
+        let mut a = Circuit::with_name(2, "alpha");
+        a.cx(Qubit(0), Qubit(1));
+        let mut b = Circuit::with_name(2, "beta");
+        b.cx(Qubit(0), Qubit(1));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+    }
+
+    #[test]
+    fn exact_fingerprint_matches_equal_gate_lists() {
+        let mut a = Circuit::new(2);
+        a.rz(Qubit(0), 0.25);
+        a.cx(Qubit(0), Qubit(1));
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn replace_params_restamps_angles_in_place() {
+        let mut c = Circuit::new(2);
+        c.rz(Qubit(0), 0.1);
+        c.rzz(Qubit(0), Qubit(1), 0.2);
+        let original = c.clone();
+        c.replace_params(0, Params::one(1.5));
+        c.replace_params(1, Params::one(-0.7));
+        assert!(c.same_structure(&original));
+        assert_eq!(c.gates()[0].params().as_slice(), &[1.5]);
+        assert_eq!(c.gates()[1].params().as_slice(), &[-0.7]);
+        assert_eq!(c.gates()[1].qubits(), (Qubit(0), Some(Qubit(1))));
     }
 
     #[test]

@@ -216,20 +216,33 @@ pub struct ExecutionFrontier {
     remaining_preds: Vec<usize>,
     executed: Vec<bool>,
     ready: Vec<usize>,
+    /// `ready_pos[gate]` = index of `gate` inside `ready`, or `u32::MAX`
+    /// when the gate is not ready — turns retirement's ready-list scan
+    /// into an `O(1)` lookup while preserving the exact `swap_remove`
+    /// ordering the routers' tie-breaking depends on.
+    ready_pos: Vec<u32>,
     num_executed: usize,
 }
 
 impl ExecutionFrontier {
+    /// Sentinel in `ready_pos` for "not currently ready".
+    const NOT_READY: u32 = u32::MAX;
+
     /// Starts a fresh execution over `dag`, with the initial front ready.
     pub fn new(dag: &DependencyDag) -> Self {
         let remaining_preds: Vec<usize> = (0..dag.num_nodes())
             .map(|i| dag.predecessors(i).len())
             .collect();
         let ready = dag.initial_front();
+        let mut ready_pos = vec![Self::NOT_READY; dag.num_nodes()];
+        for (pos, &gate) in ready.iter().enumerate() {
+            ready_pos[gate] = pos as u32;
+        }
         ExecutionFrontier {
             remaining_preds,
             executed: vec![false; dag.num_nodes()],
             ready,
+            ready_pos,
             num_executed: 0,
         }
     }
@@ -288,13 +301,22 @@ impl ExecutionFrontier {
         assert!(self.is_ready(idx), "gate {idx} is not ready for execution");
         self.executed[idx] = true;
         self.num_executed += 1;
-        if let Some(pos) = self.ready.iter().position(|&g| g == idx) {
+        let pos = self.ready_pos[idx];
+        if pos != Self::NOT_READY {
+            let pos = pos as usize;
             self.ready.swap_remove(pos);
+            self.ready_pos[idx] = Self::NOT_READY;
+            // The tail element moved into `pos` (unless we removed the
+            // tail itself): keep its position index in sync.
+            if let Some(&moved) = self.ready.get(pos) {
+                self.ready_pos[moved] = pos as u32;
+            }
         }
         let mut unlocked = 0;
         for &succ in dag.successors(idx) {
             self.remaining_preds[succ] -= 1;
             if self.remaining_preds[succ] == 0 {
+                self.ready_pos[succ] = self.ready.len() as u32;
                 self.ready.push(succ);
                 unlocked += 1;
             }
@@ -510,6 +532,32 @@ mod tests {
             assert_eq!(&a.ready()[a.ready().len() - unlocked..], &reported[..]);
         }
         assert!(b.is_complete());
+    }
+
+    #[test]
+    fn indexed_retire_preserves_scan_based_ready_order() {
+        // Shadow implementation: the pre-index `O(ready)` scan + swap_remove.
+        // Retiring from the *middle* of the ready list (so the tail element
+        // moves) in varying orders must keep the ready vectors identical.
+        let c = fig4();
+        let dag = DependencyDag::new(&c);
+        for pick in 0..3usize {
+            let mut frontier = ExecutionFrontier::new(&dag);
+            let mut shadow: Vec<usize> = dag.initial_front();
+            while !frontier.is_complete() {
+                assert_eq!(frontier.ready(), &shadow[..]);
+                // Check the position index agrees with the list.
+                for (pos, &g) in frontier.ready.iter().enumerate() {
+                    assert_eq!(frontier.ready_pos[g], pos as u32);
+                }
+                let g = frontier.ready()[pick % frontier.ready().len()];
+                let pos = shadow.iter().position(|&x| x == g).unwrap();
+                shadow.swap_remove(pos);
+                let unlocked = frontier.retire(&dag, g);
+                shadow.extend_from_slice(&frontier.ready()[frontier.ready().len() - unlocked..]);
+            }
+            assert!(shadow.is_empty());
+        }
     }
 
     #[test]

@@ -437,6 +437,62 @@ impl Gate {
         }
     }
 
+    /// Returns the same gate with its rotation angles replaced — the
+    /// parameter re-binding primitive of the routed-plan cache: a cached
+    /// physical circuit is re-used for a structurally identical submission
+    /// by stamping the new angles into each gate in place.
+    ///
+    /// Kind and operands are untouched, so the result is legal wherever
+    /// the original was.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `params.len()` differs from the kind's
+    /// parameter count.
+    pub fn with_params(&self, params: Params) -> Gate {
+        match *self {
+            Gate::One { kind, qubit, .. } => {
+                debug_assert_eq!(params.len(), kind.num_params(), "wrong parameter count");
+                Gate::One {
+                    kind,
+                    qubit,
+                    params,
+                }
+            }
+            Gate::Two { kind, a, b, .. } => {
+                debug_assert_eq!(params.len(), kind.num_params(), "wrong parameter count");
+                Gate::Two { kind, a, b, params }
+            }
+        }
+    }
+
+    /// Whether `self` and `other` are the same gate *structure*: same kind
+    /// and same operand wires, rotation angles ignored. This is the
+    /// gate-level equality behind [`crate::Circuit::same_structure`] and
+    /// the parameter-insensitive circuit fingerprint.
+    pub fn same_structure(&self, other: &Gate) -> bool {
+        match (*self, *other) {
+            (
+                Gate::One { kind, qubit, .. },
+                Gate::One {
+                    kind: ok,
+                    qubit: oq,
+                    ..
+                },
+            ) => kind == ok && qubit == oq,
+            (
+                Gate::Two { kind, a, b, .. },
+                Gate::Two {
+                    kind: ok,
+                    a: oa,
+                    b: ob,
+                    ..
+                },
+            ) => kind == ok && a == oa && b == ob,
+            _ => false,
+        }
+    }
+
     /// Returns the same gate with every wire index remapped through `f`.
     ///
     /// Routers use this to re-express a logical gate on physical wires.

@@ -67,6 +67,7 @@ use sabre_topology::embedding::{self, Embedding};
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::{CouplingGraph, DistanceMatrix, Qubit, WeightedDistanceMatrix};
 
+use crate::plan::PlanCache;
 use crate::sabre::noise_cost_matrix;
 use crate::{RouteError, SabreConfig, SabreRouter};
 
@@ -126,20 +127,50 @@ pub struct DeviceCacheStats {
 /// by device fingerprints. See the [module docs](self) for the design and
 /// a usage example; `examples/device_cache.rs`-style service loops simply
 /// hold one of these for the life of the process.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DeviceCache {
     entries: RwLock<HashMap<u64, Arc<GraphEntry>>>,
     verdicts: Arc<EmbeddingVerdictCache>,
+    plans: PlanCache,
     graph_hits: AtomicU64,
     graph_misses: AtomicU64,
     noise_hits: AtomicU64,
     noise_misses: AtomicU64,
 }
 
+impl Default for DeviceCache {
+    fn default() -> Self {
+        DeviceCache::with_plan_capacity(PlanCache::DEFAULT_CAPACITY)
+    }
+}
+
 impl DeviceCache {
-    /// An empty cache.
+    /// An empty cache with the default routed-plan capacity
+    /// ([`PlanCache::DEFAULT_CAPACITY`]).
     pub fn new() -> Self {
         DeviceCache::default()
+    }
+
+    /// An empty cache whose routed-plan layer holds at most `capacity`
+    /// plans (`0` disables plan caching entirely — e.g. for workloads
+    /// that need strict per-seed output reproducibility).
+    pub fn with_plan_capacity(capacity: usize) -> Self {
+        DeviceCache {
+            entries: RwLock::new(HashMap::new()),
+            verdicts: Arc::default(),
+            plans: PlanCache::with_capacity(capacity),
+            graph_hits: AtomicU64::new(0),
+            graph_misses: AtomicU64::new(0),
+            noise_hits: AtomicU64::new(0),
+            noise_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The routed-plan cache layer (see [`PlanCache`]): consult it before
+    /// routing a circuit whose structure may have been routed before, and
+    /// feed it finished routes so re-parameterized submissions rebind.
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// A router for `graph` with the hop-count heuristic, reusing cached
@@ -246,11 +277,12 @@ impl DeviceCache {
         self.len() == 0
     }
 
-    /// Drops every cached device and embedding verdict. Counters are not
-    /// reset.
+    /// Drops every cached device, embedding verdict, and routed plan.
+    /// Counters are not reset.
     pub fn clear(&self) {
         self.entries.write().expect("device cache poisoned").clear();
         self.verdicts.clear();
+        self.plans.clear();
     }
 
     /// A snapshot of the hit/miss counters (embedding counters come from

@@ -66,6 +66,7 @@ mod error;
 mod heuristic;
 mod layout;
 pub mod parallel;
+pub mod plan;
 pub mod reference;
 mod result;
 pub mod router;
@@ -78,6 +79,7 @@ pub use config::{HeuristicKind, SabreConfig};
 pub use error::RouteError;
 pub use layout::Layout;
 pub use parallel::{transpile_batch, transpile_batch_cached, BatchOutcome};
+pub use plan::{PlanCache, PlanCacheStats, RoutedPlan};
 pub use result::{RoutedCircuit, SabreResult, TraversalReport};
 pub use sabre::SabreRouter;
 pub use transpile::{transpile, TranspileOptions, TranspileOutput};

@@ -163,6 +163,15 @@ impl BatchOutcome {
 /// Successful slots are bit-identical to [`transpile_batch`] for a fixed
 /// seed.
 ///
+/// The cache's routed-plan layer ([`DeviceCache::plans`]) is consulted
+/// per circuit: a submission whose *structure* (gate kinds and operands,
+/// angles excluded) was routed before under the same device, noise, and
+/// objective config is answered by parameter rebinding — zero search
+/// steps — and every fresh route is fed back into the plan cache. This
+/// is what makes variational parameter sweeps (`N` structurally
+/// identical batches with different angles) cost one route total; see
+/// [`crate::plan`] for the key and collision discipline.
+///
 /// Unlike [`transpile_batch`], this never fails as a whole: router
 /// construction errors (invalid config, disconnected device) are
 /// replicated into **every** slot as [`BatchOutcome::Failed`], and
@@ -202,13 +211,25 @@ pub fn transpile_batch_cached(
         None => cache.router(graph, options.config),
     };
     match router {
-        Ok(router) => run_batch(&router, circuits, options)
-            .into_iter()
-            .map(|slot| match slot {
-                Ok(out) => BatchOutcome::Transpiled(out),
-                Err(err) => BatchOutcome::Failed(err),
-            })
-            .collect(),
+        Ok(router) => {
+            let plans = cache.plans();
+            let noise = options.noise.as_ref();
+            circuits
+                .par_iter()
+                .map(|circuit| {
+                    if let Some(hit) = plans.lookup(circuit, graph, noise, router.config()) {
+                        return BatchOutcome::Transpiled(finish_routed(hit.best, options));
+                    }
+                    match router.route(circuit) {
+                        Ok(result) => {
+                            plans.insert(circuit, graph, noise, router.config(), &result);
+                            BatchOutcome::Transpiled(finish_routed(result.best, options))
+                        }
+                        Err(err) => BatchOutcome::Failed(err),
+                    }
+                })
+                .collect()
+        }
         Err(err) => circuits
             .iter()
             .map(|_| BatchOutcome::Failed(err.clone()))
@@ -340,6 +361,49 @@ mod tests {
         }
         let stats = cache.stats();
         assert_eq!((stats.graph_misses, stats.graph_hits), (1, 1));
+    }
+
+    #[test]
+    fn cached_batch_rebinds_reparameterized_sweeps() {
+        let device = devices::ibm_q20_tokyo();
+        let cache = DeviceCache::new();
+        let options = TranspileOptions::default();
+        // Strides of 2 keep the structures distinct (`workload` skips
+        // self-pair rounds, so consecutive counts can coincide).
+        let sweep = |theta: f64| -> Vec<Circuit> {
+            (0..3)
+                .map(|i| {
+                    let mut c = workload(10, 30 + 2 * i, (5, 7));
+                    c.rz(Qubit(0), theta);
+                    c
+                })
+                .collect()
+        };
+        // Round 0 routes; rounds 1..4 differ only in angles, so every
+        // slot is served by rebinding — zero additional routes.
+        let mut baseline = Vec::new();
+        for round in 0..4 {
+            let circuits = sweep(round as f64 * 0.7);
+            let outcomes = transpile_batch_cached(&circuits, device.graph(), &options, &cache);
+            // Every round must be bit-identical to uncached transpilation.
+            let fresh = transpile_batch(&circuits, device.graph(), &options).unwrap();
+            for (a, b) in outcomes.iter().zip(&fresh) {
+                assert_eq!(a.output().unwrap().circuit, b.as_ref().unwrap().circuit);
+            }
+            if round == 0 {
+                baseline = outcomes
+                    .iter()
+                    .map(|o| o.output().unwrap().swaps_inserted)
+                    .collect();
+            } else {
+                for (o, &swaps) in outcomes.iter().zip(&baseline) {
+                    assert_eq!(o.output().unwrap().swaps_inserted, swaps);
+                }
+            }
+        }
+        let stats = cache.plans().stats();
+        assert_eq!(stats.misses, 3, "only round 0 routes");
+        assert_eq!(stats.hits, 9, "3 circuits × 3 warm rounds rebind");
     }
 
     #[test]

@@ -110,64 +110,75 @@ pub(crate) fn route_pass_prepared(
     let mut num_swaps = 0usize;
     let mut search_steps = 0usize;
     let mut forced_routings = 0usize;
+    // Incremental front-layer maintenance: when a selected SWAP leaves
+    // every front gate still uncoupled, nothing can execute, so the front
+    // (and with it the extended set, which depends only on front
+    // membership and the DAG, never on the layout) is provably unchanged
+    // — the execute-drain scan, front rebuild, and extended-set BFS are
+    // all skipped. Only gates with a physical endpoint on the swapped
+    // pair can change executability, so the dirtiness check is O(|F|).
+    let mut front_dirty = true;
 
     loop {
-        // Execute every gate that is logically ready and physically
-        // executable, repeating until the frontier stalls (the
-        // `Execute_gate_list` loop of Algorithm 1). The snapshot is taken
-        // into a reused buffer — same iteration order as the seed's
-        // per-pass `ready().to_vec()` clone, no allocation.
-        loop {
-            let mut executed_any = false;
-            state.ready_snapshot.clear();
-            state.ready_snapshot.extend_from_slice(frontier.ready());
-            for &idx in &state.ready_snapshot {
-                let gate = &circuit.gates()[idx];
-                match gate.qubits() {
-                    // Single-qubit gates never block: emit on the wire the
-                    // logical qubit currently occupies (§IV-A).
-                    (_q, None) => {
-                        out.push(gate.map_qubits(|l| layout.phys_of(l)));
-                        frontier.retire(dag, idx);
-                        executed_any = true;
-                    }
-                    (a, Some(b)) => {
-                        let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
-                        if graph.are_coupled(pa, pb) {
+        if front_dirty {
+            // Execute every gate that is logically ready and physically
+            // executable, repeating until the frontier stalls (the
+            // `Execute_gate_list` loop of Algorithm 1). The snapshot is
+            // taken into a reused buffer — same iteration order as the
+            // seed's per-pass `ready().to_vec()` clone, no allocation.
+            loop {
+                let mut executed_any = false;
+                state.ready_snapshot.clear();
+                state.ready_snapshot.extend_from_slice(frontier.ready());
+                for &idx in &state.ready_snapshot {
+                    let gate = &circuit.gates()[idx];
+                    match gate.qubits() {
+                        // Single-qubit gates never block: emit on the wire
+                        // the logical qubit currently occupies (§IV-A).
+                        (_q, None) => {
                             out.push(gate.map_qubits(|l| layout.phys_of(l)));
                             frontier.retire(dag, idx);
                             executed_any = true;
-                            // Paper §V: decay resets after a CNOT executes.
-                            decay.on_gate_executed();
-                            swaps_since_progress = 0;
+                        }
+                        (a, Some(b)) => {
+                            let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
+                            if graph.are_coupled(pa, pb) {
+                                out.push(gate.map_qubits(|l| layout.phys_of(l)));
+                                frontier.retire(dag, idx);
+                                executed_any = true;
+                                // Paper §V: decay resets after a CNOT executes.
+                                decay.on_gate_executed();
+                                swaps_since_progress = 0;
+                            }
                         }
                     }
                 }
+                if !executed_any {
+                    break;
+                }
             }
-            if !executed_any {
+            if frontier.is_complete() {
                 break;
             }
-        }
-        if frontier.is_complete() {
-            break;
-        }
 
-        // Front layer F: the ready-but-blocked two-qubit gates.
-        state.front.clear();
-        state.front.extend(
-            frontier
-                .ready()
-                .iter()
-                .copied()
-                .filter(|&i| circuit.gates()[i].is_two_qubit()),
-        );
-        debug_assert!(
-            !state.front.is_empty(),
-            "stalled frontier must contain a blocked two-qubit gate"
-        );
+            // Front layer F: the ready-but-blocked two-qubit gates.
+            state.front.clear();
+            state.front.extend(
+                frontier
+                    .ready()
+                    .iter()
+                    .copied()
+                    .filter(|&i| circuit.gates()[i].is_two_qubit()),
+            );
+            debug_assert!(
+                !state.front.is_empty(),
+                "stalled frontier must contain a blocked two-qubit gate"
+            );
+        }
 
         // Livelock guard (never fires with the paper configuration; see
-        // DESIGN.md implementation notes).
+        // DESIGN.md implementation notes). Checked every iteration, clean
+        // or dirty — the guard is the termination proof.
         let limit = 3 * n_phys as usize + config.livelock_slack;
         if swaps_since_progress >= limit {
             forced_routings += 1;
@@ -180,16 +191,19 @@ pub(crate) fn route_pass_prepared(
             search_steps += inserted;
             decay.on_forced_route();
             swaps_since_progress = 0;
+            front_dirty = true;
             continue;
         }
 
-        dag.extended_set_with(
-            circuit,
-            &state.front,
-            config.extended_set_size,
-            &mut state.extended_scratch,
-            &mut state.extended,
-        );
+        if front_dirty {
+            dag.extended_set_with(
+                circuit,
+                &state.front,
+                config.extended_set_size,
+                &mut state.extended_scratch,
+                &mut state.extended,
+            );
+        }
 
         state
             .incidence
@@ -225,6 +239,19 @@ pub(crate) fn route_pass_prepared(
         search_steps += 1;
         swaps_since_progress += 1;
         decay.on_swap_selected(sa, sb);
+
+        // The front changes only if the SWAP made a front gate executable.
+        // At a stall every ready gate is a blocked two-qubit gate (the
+        // drain retires one-qubit gates unconditionally), and a gate
+        // neither of whose endpoints sits on the swapped pair kept both
+        // physical positions — still blocked. So: dirty ⇔ some touched
+        // front gate is now coupled.
+        front_dirty = state.front.iter().any(|&idx| {
+            let (a, b) = circuit.gates()[idx].qubits();
+            let b = b.expect("front gates are two-qubit");
+            let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
+            (pa == sa || pa == sb || pb == sa || pb == sb) && graph.are_coupled(pa, pb)
+        });
     }
 
     debug_assert!(layout.is_consistent());

@@ -68,6 +68,10 @@ pub(crate) struct IncidenceTable {
     lists: Vec<Vec<IncidentGate>>,
     /// Physical qubits whose lists are non-empty (for cheap clearing).
     touched: Vec<u32>,
+    /// Per-gate distances staged contiguously (front then extended) so the
+    /// base sums run as chunked loops over one dense slice — see
+    /// [`chunked_sum`].
+    stage: Vec<f64>,
     /// `Σ_{g∈F} D[π(g.q1)][π(g.q2)]` under the current (unswapped) layout.
     front_base: f64,
     /// The same sum over the extended set.
@@ -83,6 +87,7 @@ impl IncidenceTable {
         IncidenceTable {
             lists: vec![Vec::new(); n_phys],
             touched: Vec::new(),
+            stage: Vec::new(),
             front_base: 0.0,
             extended_base: 0.0,
             front_norm: 1.0,
@@ -105,19 +110,14 @@ impl IncidenceTable {
             self.lists[q as usize].clear();
         }
         self.touched.clear();
-        self.front_base = 0.0;
-        self.extended_base = 0.0;
+        self.stage.clear();
         for (gates, in_front) in [(front, true), (extended, false)] {
             for &idx in gates {
                 let (a, b) = circuit.gates()[idx].qubits();
                 let b = b.expect("front/extended sets contain only two-qubit gates");
                 let (pa, pb) = (layout.phys_of(a), layout.phys_of(b));
                 let d = dist.row(pa)[pb.index()];
-                if in_front {
-                    self.front_base += d;
-                } else {
-                    self.extended_base += d;
-                }
+                self.stage.push(d);
                 self.insert(
                     pa,
                     IncidentGate {
@@ -136,6 +136,13 @@ impl IncidenceTable {
                 );
             }
         }
+        // Base sums over the staged distances: dense, branch-free, and in
+        // the multi-accumulator shape the autovectorizer turns into SIMD
+        // lanes. Exact for hop matrices (integer-valued f64 sums associate
+        // freely); for noise weights any regrouping drift sits far inside
+        // the SCORE_EPSILON tie-break slack (module docs).
+        self.front_base = chunked_sum(&self.stage[..front.len()]);
+        self.extended_base = chunked_sum(&self.stage[front.len()..]);
         self.front_norm = front.len().max(1) as f64;
         self.extended_len = extended.len() as f64;
     }
@@ -205,6 +212,29 @@ impl IncidenceTable {
             }
         }
     }
+}
+
+/// Four-accumulator chunked summation over a contiguous `f64` slice.
+///
+/// The independent accumulators break the serial dependency chain of a
+/// naive `iter().sum()`, which is exactly the shape LLVM autovectorizes
+/// into SIMD adds without any `unsafe`/`std::arch` code (the crate
+/// forbids unsafe). The result is bit-identical to the serial sum when
+/// the inputs are integer-valued `f64`s (hop-count distance rows — the
+/// common case); see [`IncidenceTable::prepare`] for the noise-weighted
+/// drift argument.
+#[inline]
+fn chunked_sum(values: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = values.chunks_exact(4);
+    for chunk in chunks.by_ref() {
+        acc[0] += chunk[0];
+        acc[1] += chunk[1];
+        acc[2] += chunk[2];
+        acc[3] += chunk[3];
+    }
+    let tail: f64 = chunks.remainder().iter().sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Caller-owned scratch for the per-step SWAP-candidate sweep.
@@ -400,6 +430,37 @@ mod tests {
         };
         let score = table.score(&dist, &config, &[1.0; 4], (Qubit(1), Qubit(2)));
         assert_eq!(score, 1.0, "distance 1 before and after the self-swap");
+    }
+
+    /// The chunked sum must equal the serial sum bitwise on integer-valued
+    /// data (the hop-matrix exactness contract) across lengths straddling
+    /// the 4-lane chunk boundary.
+    #[test]
+    fn chunked_sum_matches_serial_on_integer_values() {
+        // Empty slice: +0.0 (std's `sum()` folds from -0.0, numerically
+        // equal; the scorer never consults a base over an empty set with
+        // a nonzero weight anyway).
+        assert_eq!(chunked_sum(&[]), 0.0);
+        for len in 1..23usize {
+            let values: Vec<f64> = (0..len).map(|i| ((i * 7 + 3) % 19) as f64).collect();
+            let serial: f64 = values.iter().sum();
+            assert_eq!(
+                chunked_sum(&values).to_bits(),
+                serial.to_bits(),
+                "len={len}"
+            );
+        }
+    }
+
+    /// On arbitrary floats the regrouped sum may differ from serial only
+    /// by ulps — far inside the SCORE_EPSILON tie-break slack.
+    #[test]
+    fn chunked_sum_stays_within_epsilon_on_floats() {
+        let values: Vec<f64> = (0..37)
+            .map(|i| (i as f64 * 0.37).sin().abs() + 0.1)
+            .collect();
+        let serial: f64 = values.iter().sum();
+        assert!((chunked_sum(&values) - serial).abs() < 1e-12);
     }
 
     /// Preparing for a new step must fully supersede the previous one.

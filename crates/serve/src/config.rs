@@ -68,6 +68,16 @@ pub struct ServeConfig {
     /// How long a keep-alive connection may sit idle between requests
     /// before the reactor closes it.
     pub idle_timeout_ms: u64,
+    /// Routed-plan cache capacity (entries). A `POST /route` whose
+    /// circuit *structure* was routed before on the same device, noise
+    /// fingerprint, and heuristic objective skips the search entirely:
+    /// the cached plan is re-bound with the new gate parameters and
+    /// answered inline on the reactor thread, bypassing admission
+    /// pricing and the worker queue. `0` disables plan caching — which
+    /// also restores strict per-request seed sensitivity, since the plan
+    /// key deliberately ignores search-effort knobs (`seed`,
+    /// `num_restarts`, …).
+    pub plan_cache_capacity: usize,
     /// Baseline [`SabreConfig`] for every request; per-request `"config"`
     /// overrides are applied on top of this.
     pub default_config: SabreConfig,
@@ -92,6 +102,7 @@ impl Default for ServeConfig {
             read_deadline_ms: 30_000,
             write_deadline_ms: 30_000,
             idle_timeout_ms: 5000,
+            plan_cache_capacity: 512,
             default_config: SabreConfig::default(),
         }
     }
@@ -183,6 +194,16 @@ mod tests {
             .validate()
             .unwrap_err()
             .contains("max_requests_per_connection"));
+    }
+
+    #[test]
+    fn zero_plan_cache_capacity_is_valid() {
+        // 0 is the documented off switch, not a misconfiguration.
+        let c = ServeConfig {
+            plan_cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -12,11 +12,11 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sabre::DeviceCacheStats;
+use sabre::{DeviceCacheStats, PlanCacheStats};
 
 /// Monotone counters; gauges (queue depth, device count) are read from
 /// their owners at scrape time and passed to [`Metrics::render`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// `POST /route` requests admitted or rejected.
     pub requests_route: AtomicU64,
@@ -70,28 +70,66 @@ pub struct Metrics {
     /// (milliseconds), recorded for every priced request whether it was
     /// admitted or shed.
     pub predicted_wait_ms: Histogram,
+    /// `/route` requests answered inline on the reactor thread from the
+    /// routed-plan cache (zero search steps, no queueing).
+    pub plan_cache_inline_hits: AtomicU64,
+    /// Histogram of parameter re-bind latency (nanoseconds) for
+    /// plan-cache hits — the serving cost of a cached structure.
+    pub rebind_ns: Histogram,
 }
 
 /// Upper bounds (ms) of the `admission_predicted_wait_ms` buckets; an
 /// implicit `+Inf` bucket follows.
 pub const PREDICTED_WAIT_BUCKETS_MS: [u64; 10] = [1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000];
 
+/// Upper bounds (ns) of the `rebind_ns` buckets. Re-binding is a clone
+/// plus a parameter stamp — microseconds, not milliseconds — so the
+/// bands start at 1µs and top out at 100ms to catch pathologies.
+pub const REBIND_NS_BUCKETS: [u64; 9] = [
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
 /// A fixed-bucket Prometheus histogram (cumulative buckets rendered at
-/// scrape time; stored counts are per-bucket).
-#[derive(Debug, Default)]
+/// scrape time; stored counts are per-bucket). The bucket bounds are a
+/// construction-time parameter so one type serves both the
+/// milliseconds-scale admission wait and the nanoseconds-scale rebind
+/// latency.
+#[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; PREDICTED_WAIT_BUCKETS_MS.len() + 1],
+    bounds: &'static [u64],
+    /// One slot per bound plus the `+Inf` overflow slot.
+    buckets: Vec<AtomicU64>,
     sum: AtomicU64,
     count: AtomicU64,
 }
 
 impl Histogram {
+    /// A zeroed histogram over `bounds` (ascending upper bounds; an
+    /// implicit `+Inf` bucket is appended).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
     /// Records one observation.
     pub fn observe(&self, value: u64) {
-        let idx = PREDICTED_WAIT_BUCKETS_MS
+        let idx = self
+            .bounds
             .iter()
             .position(|&bound| value <= bound)
-            .unwrap_or(PREDICTED_WAIT_BUCKETS_MS.len());
+            .unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -106,14 +144,14 @@ impl Histogram {
         let _ = writeln!(out, "# HELP sabre_serve_{name} {help}");
         let _ = writeln!(out, "# TYPE sabre_serve_{name} histogram");
         let mut cumulative = 0u64;
-        for (idx, bound) in PREDICTED_WAIT_BUCKETS_MS.iter().enumerate() {
+        for (idx, bound) in self.bounds.iter().enumerate() {
             cumulative += self.buckets[idx].load(Ordering::Relaxed);
             let _ = writeln!(
                 out,
                 "sabre_serve_{name}_bucket{{le=\"{bound}\"}} {cumulative}"
             );
         }
-        cumulative += self.buckets[PREDICTED_WAIT_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
         let _ = writeln!(out, "sabre_serve_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
         let _ = writeln!(
             out,
@@ -125,6 +163,39 @@ impl Histogram {
             "sabre_serve_{name}_count {}",
             self.count.load(Ordering::Relaxed)
         );
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests_route: AtomicU64::new(0),
+            requests_sharded: AtomicU64::new(0),
+            requests_batch: AtomicU64::new(0),
+            requests_devices: AtomicU64::new(0),
+            requests_fleets: AtomicU64::new(0),
+            requests_noise: AtomicU64::new(0),
+            requests_healthz: AtomicU64::new(0),
+            requests_metrics: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            jobs_admitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            circuits_routed: AtomicU64::new(0),
+            routing_ns_total: AtomicU64::new(0),
+            routing_steps_total: AtomicU64::new(0),
+            last_route_ns_per_step: AtomicU64::new(0),
+            queue_wait_ns_total: AtomicU64::new(0),
+            reaped_read_deadline: AtomicU64::new(0),
+            reaped_write_deadline: AtomicU64::new(0),
+            reaped_idle: AtomicU64::new(0),
+            shed_rate_limited: AtomicU64::new(0),
+            shed_predicted_slo: AtomicU64::new(0),
+            shed_table_full: AtomicU64::new(0),
+            predicted_wait_ms: Histogram::new(&PREDICTED_WAIT_BUCKETS_MS),
+            plan_cache_inline_hits: AtomicU64::new(0),
+            rebind_ns: Histogram::new(&REBIND_NS_BUCKETS),
+        }
     }
 }
 
@@ -187,7 +258,12 @@ impl Metrics {
     }
 
     /// Renders the Prometheus exposition text.
-    pub fn render(&self, gauges: GaugeSnapshot, cache: DeviceCacheStats) -> String {
+    pub fn render(
+        &self,
+        gauges: GaugeSnapshot,
+        cache: DeviceCacheStats,
+        plans: PlanCacheStats,
+    ) -> String {
         let mut out = String::new();
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
 
@@ -426,6 +502,54 @@ impl Metrics {
             "Probe verdicts computed by backtracking.",
             cache.embedding_misses,
         );
+
+        metric(
+            &mut out,
+            "plan_cache_hits_total",
+            "counter",
+            "Routed-plan lookups served by parameter re-binding.",
+            plans.hits,
+        );
+        metric(
+            &mut out,
+            "plan_cache_misses_total",
+            "counter",
+            "Routed-plan lookups that fell through to a full route.",
+            plans.misses,
+        );
+        metric(
+            &mut out,
+            "plan_cache_evictions_total",
+            "counter",
+            "Routed plans evicted by the LRU capacity bound.",
+            plans.evictions,
+        );
+        metric(
+            &mut out,
+            "plan_cache_entries",
+            "gauge",
+            "Routed plans currently cached.",
+            plans.entries as u64,
+        );
+        metric(
+            &mut out,
+            "plan_cache_approx_bytes",
+            "gauge",
+            "Estimated heap bytes held by cached routed plans.",
+            plans.approx_bytes,
+        );
+        metric(
+            &mut out,
+            "plan_cache_inline_hits_total",
+            "counter",
+            "/route requests answered inline from the plan cache.",
+            load(&self.plan_cache_inline_hits),
+        );
+        self.rebind_ns.render(
+            &mut out,
+            "rebind_ns",
+            "Parameter re-bind latency (ns) for plan-cache hits.",
+        );
         out
     }
 }
@@ -446,6 +570,8 @@ mod tests {
         m.predicted_wait_ms.observe(3);
         m.predicted_wait_ms.observe(40);
         m.predicted_wait_ms.observe(9999);
+        Metrics::add(&m.plan_cache_inline_hits, 5);
+        m.rebind_ns.observe(4_200);
         let text = m.render(
             GaugeSnapshot {
                 queue_depth: 2,
@@ -458,6 +584,13 @@ mod tests {
                 max_connections: 4096,
             },
             DeviceCacheStats::default(),
+            PlanCacheStats {
+                hits: 7,
+                misses: 2,
+                evictions: 1,
+                entries: 3,
+                approx_bytes: 9001,
+            },
         );
         assert!(text.contains("sabre_serve_queue_depth 2"));
         assert!(text.contains("sabre_serve_queue_capacity 8"));
@@ -478,6 +611,15 @@ mod tests {
         assert!(text.contains("sabre_serve_admission_rejections_total{kind=\"predicted_slo\"} 4"));
         assert!(text.contains("sabre_serve_admission_rejections_total{kind=\"rate_limited\"} 0"));
         assert!(text.contains("sabre_serve_admission_rejections_total{kind=\"table_full\"} 0"));
+        assert!(text.contains("sabre_serve_plan_cache_hits_total 7"));
+        assert!(text.contains("sabre_serve_plan_cache_misses_total 2"));
+        assert!(text.contains("sabre_serve_plan_cache_evictions_total 1"));
+        assert!(text.contains("sabre_serve_plan_cache_entries 3"));
+        assert!(text.contains("sabre_serve_plan_cache_approx_bytes 9001"));
+        assert!(text.contains("sabre_serve_plan_cache_inline_hits_total 5"));
+        assert!(text.contains("# TYPE sabre_serve_rebind_ns histogram"));
+        assert!(text.contains("sabre_serve_rebind_ns_bucket{le=\"5000\"} 1"));
+        assert!(text.contains("sabre_serve_rebind_ns_count 1"));
         assert_eq!(m.avg_ns_per_step(), 200);
     }
 
@@ -501,6 +643,7 @@ mod tests {
                 max_connections: 1,
             },
             DeviceCacheStats::default(),
+            PlanCacheStats::default(),
         );
         assert!(text.contains("# TYPE sabre_serve_admission_predicted_wait_ms histogram"));
         assert!(text.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"1\"} 2"));
@@ -527,6 +670,7 @@ mod tests {
                 max_connections: 16,
             },
             DeviceCacheStats::default(),
+            PlanCacheStats::default(),
         );
         assert!(text.contains("sabre_serve_avg_route_ns_per_step 0"));
         assert!(text.contains("sabre_serve_draining 1"));

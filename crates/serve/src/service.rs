@@ -21,6 +21,11 @@
 //! priced `429` carrying the projected wait; a full queue is a
 //! `503 + Retry-After` computed from the same model (config floor). No
 //! unbounded buffering — the ROADMAP's backpressure requirement.
+//! Before any of that pricing, `POST /route` consults the routed-plan
+//! cache: a structure that was routed before (same device, noise,
+//! heuristic objective) is answered inline on the reactor thread by
+//! re-binding the cached plan's parameters — zero search steps, no
+//! queue traversal.
 //!
 //! Worker threads do the expensive work against a process-wide
 //! [`DeviceCache`], so every request shares the same preprocessed
@@ -40,7 +45,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
-use sabre::{transpile_batch_cached, DeviceCache, SabreConfig, TranspileOptions};
+use sabre::{transpile_batch_cached, DeviceCache, SabreConfig, SabreResult, TranspileOptions};
 use sabre_circuit::Circuit;
 use sabre_json::JsonValue;
 use sabre_shard::{route_sharded, Fleet, ShardConfig};
@@ -140,9 +145,10 @@ pub(crate) struct RoutingService {
 impl RoutingService {
     fn new(config: ServeConfig, waker: Waker) -> Self {
         let queue = BoundedQueue::new(config.queue_capacity);
+        let cache = DeviceCache::with_plan_capacity(config.plan_cache_capacity);
         RoutingService {
             config,
-            cache: DeviceCache::new(),
+            cache,
             devices: RwLock::new(HashMap::new()),
             fleets: RwLock::new(HashMap::new()),
             queue,
@@ -376,7 +382,14 @@ pub(crate) fn dispatch(
         }
         ("GET", ["metrics"]) => {
             Metrics::add(&m.requests_metrics, 1);
-            Response::text(200, m.render(service.gauges(), service.cache.stats()))
+            Response::text(
+                200,
+                m.render(
+                    service.gauges(),
+                    service.cache.stats(),
+                    service.cache.plans().stats(),
+                ),
+            )
         }
         ("GET", ["devices"]) => list_devices(service),
         ("POST", ["devices"]) => {
@@ -804,7 +817,71 @@ fn admit_job(
         Ok(kind) => kind,
         Err(e) => return Outcome::Respond(Response::error(e.status, &e.message)),
     };
+    // Routed-plan fast path, checked *before* admission pricing: a
+    // `/route` whose structure is already cached needs no search steps,
+    // so queueing it behind priced work (or shedding it against the SLO)
+    // would be pure waste. Re-binding is microseconds of parameter
+    // stamping — cheap enough to answer inline on the reactor thread.
+    if let JobKind::Route {
+        device_id,
+        graph,
+        noise,
+        circuit,
+        config,
+        include_physical,
+    } = &kind
+    {
+        if let Some(result) = service
+            .cache
+            .plans()
+            .lookup(circuit, graph, noise.as_ref(), config)
+        {
+            let m = &service.metrics;
+            m.rebind_ns
+                .observe(result.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+            Metrics::add(&m.plan_cache_inline_hits, 1);
+            Metrics::add(&m.circuits_routed, 1);
+            // Deliberately not record_routing(): a rebind runs zero
+            // search steps, and folding its wall time into the
+            // ns-per-step price would corrupt the admission model.
+            return Outcome::Respond(route_response(
+                device_id,
+                noise.is_some(),
+                config.seed,
+                "hit",
+                &result,
+                *include_physical,
+            ));
+        }
+    }
     admit(service, kind, ctx)
+}
+
+/// The `POST /route` success body, shared by the inline plan-cache hit
+/// path (reactor thread) and the full-route worker path so the two are
+/// structurally identical apart from the `plan_cache` tag.
+fn route_response(
+    device_id: &str,
+    noise_aware: bool,
+    seed: u64,
+    plan_cache: &str,
+    result: &SabreResult,
+    include_physical: bool,
+) -> Response {
+    let mut fields = vec![
+        ("device", JsonValue::from(device_id)),
+        ("noise_aware", noise_aware.into()),
+        ("seed", seed.into()),
+        ("plan_cache", plan_cache.into()),
+        ("result", result.to_json()),
+    ];
+    if include_physical {
+        fields.push((
+            "physical_qasm",
+            sabre_qasm::to_qasm(&result.best.physical).into(),
+        ));
+    }
+    Response::json(200, &JsonValue::object(fields))
 }
 
 /// Predicted-cost admission: price the backlog at the live per-step
@@ -931,25 +1008,26 @@ fn execute(service: &RoutingService, kind: &JobKind) -> Response {
                 Ok(result) => result,
                 Err(e) => return Response::error(422, &format!("routing failed: {e}")),
             };
+            // Cache the routed plan so the next submission of this
+            // structure (any parameters) re-binds inline at dispatch.
+            service
+                .cache
+                .plans()
+                .insert(circuit, graph, noise.as_ref(), config, &result);
             service.metrics.record_routing(
                 result.elapsed.as_nanos(),
                 result.total_search_steps(),
                 result.ns_per_step(),
             );
             Metrics::add(&service.metrics.circuits_routed, 1);
-            let mut fields = vec![
-                ("device", JsonValue::from(device_id.as_str())),
-                ("noise_aware", noise.is_some().into()),
-                ("seed", config.seed.into()),
-                ("result", result.to_json()),
-            ];
-            if *include_physical {
-                fields.push((
-                    "physical_qasm",
-                    sabre_qasm::to_qasm(&result.best.physical).into(),
-                ));
-            }
-            Response::json(200, &JsonValue::object(fields))
+            route_response(
+                device_id,
+                noise.is_some(),
+                config.seed,
+                "miss",
+                &result,
+                *include_physical,
+            )
         }
         JobKind::Sharded {
             members,

@@ -6,6 +6,7 @@
 //!             [--max-connections N] [--rate-limit PER_SEC] [--rate-limit-burst N]
 //!             [--admission-slo-ms MS] [--read-deadline-ms MS]
 //!             [--write-deadline-ms MS] [--idle-timeout-ms MS]
+//!             [--plan-cache-capacity N]
 //! ```
 //!
 //! `--preload` registers the fixed builtin devices (`tokyo20`, `qx5`,
@@ -29,7 +30,7 @@ fn usage() -> ! {
          \x20                  [--max-connections N] [--rate-limit PER_SEC]\n\
          \x20                  [--rate-limit-burst N] [--admission-slo-ms MS]\n\
          \x20                  [--read-deadline-ms MS] [--write-deadline-ms MS]\n\
-         \x20                  [--idle-timeout-ms MS]"
+         \x20                  [--idle-timeout-ms MS] [--plan-cache-capacity N]"
     );
     exit(2);
 }
@@ -78,6 +79,10 @@ fn main() {
             }
             "--idle-timeout-ms" => {
                 config.idle_timeout_ms = parse(&value("--idle-timeout-ms"), "--idle-timeout-ms");
+            }
+            "--plan-cache-capacity" => {
+                config.plan_cache_capacity =
+                    parse(&value("--plan-cache-capacity"), "--plan-cache-capacity");
             }
             "--preload" => preload = true,
             "--help" | "-h" => usage(),

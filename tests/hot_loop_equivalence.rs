@@ -127,6 +127,73 @@ fn engines_agree_under_forced_routing() {
 }
 
 #[test]
+fn engines_agree_on_sparse_fronts_with_long_swap_chains() {
+    // Long linear devices with distant two-qubit pairs: each executed gate
+    // needs many SWAPs, so the vast majority of search iterations leave the
+    // front layer untouched — the exact regime the incremental engine's
+    // clean-front skip path (no drain, no front rebuild, no extended-set
+    // BFS) is exercised hardest in. The reference engine recomputes
+    // everything every step; outputs must still be identical.
+    for n in [16u32, 24, 32] {
+        let graph = devices::linear(n).graph().clone();
+        let dist = WeightedDistanceMatrix::hops(&graph);
+        let mut circuit = Circuit::new(n);
+        // Far-apart pairs, re-crossing the line each round so the front
+        // stays small (1-2 gates) while SWAP chains stay long.
+        for round in 0..6u32 {
+            for k in 0..(n / 4) {
+                let a = sabre_circuit::Qubit(k);
+                let b = sabre_circuit::Qubit(n - 1 - ((k + round) % (n / 2)));
+                if a != b {
+                    circuit.cx(a, b);
+                    circuit.rz(b, 0.25 * f64::from(round + 1));
+                }
+            }
+        }
+        for seed in [1u64, 2019] {
+            let config = SabreConfig {
+                seed,
+                ..SabreConfig::fast()
+            };
+            assert_engines_agree(
+                &circuit,
+                &graph,
+                &dist,
+                &config,
+                &format!("linear{n}/sparse-front/seed={seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_wide_extended_sets() {
+    // Oversized |E| relative to the circuit: the staged chunked summation
+    // over front + extended rows sees long slices (vectorized lanes plus
+    // remainders of every length), and extended-set reuse across clean
+    // steps must not go stale.
+    let graph = devices::grid(6, 6).graph().clone();
+    let dist = WeightedDistanceMatrix::hops(&graph);
+    for gates in [37usize, 250, 999] {
+        let circuit = random::random_circuit(30, gates, 0.85, gates as u64);
+        for extended_set_size in [13usize, 64, 200] {
+            let config = SabreConfig {
+                extended_set_size,
+                extended_set_weight: 0.7,
+                ..SabreConfig::fast()
+            };
+            assert_engines_agree(
+                &circuit,
+                &graph,
+                &dist,
+                &config,
+                &format!("grid6x6/gates={gates}/|E|={extended_set_size}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn engines_agree_on_noise_weighted_distances() {
     // Arbitrary f64 edge costs: delta sums may regroup floating-point
     // arithmetic, but any drift is orders of magnitude below the 1e-12

@@ -134,6 +134,10 @@ fn wait_for_metric(addr: SocketAddr, name: &str, target: u64) {
 fn concurrent_routes_are_byte_identical_to_direct_route_batch() {
     let handle = server(ServeConfig {
         workers: 4,
+        // The plan-cache key deliberately ignores `seed` (any cached plan
+        // is a valid routing of the structure), but this test pins strict
+        // per-request seed sensitivity — so it runs with the cache off.
+        plan_cache_capacity: 0,
         ..ServeConfig::default()
     });
     let addr = handle.addr();
@@ -722,11 +726,121 @@ fn metrics_expose_per_step_routing_telemetry() {
     // The priced /route above observed its predicted wait.
     assert!(metric("sabre_serve_admission_predicted_wait_ms_count") >= 1);
     assert!(after.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"+Inf\"}"));
+    // Plan-cache telemetry: the first submission of this structure was a
+    // lookup miss, then the routed plan was cached.
+    assert_eq!(metric("sabre_serve_plan_cache_misses_total"), 1);
+    assert_eq!(metric("sabre_serve_plan_cache_hits_total"), 0);
+    assert_eq!(metric("sabre_serve_plan_cache_entries"), 1);
+    assert!(metric("sabre_serve_plan_cache_approx_bytes") > 0);
+    assert_eq!(metric("sabre_serve_plan_cache_evictions_total"), 0);
+    assert_eq!(metric("sabre_serve_rebind_ns_count"), 0);
+
+    // Resubmitting the same structure with different angles is a hit:
+    // answered inline (no new job), zero search steps, rebind observed.
+    let mut rebound = Circuit::new(4);
+    rebound.cx(Qubit(0), Qubit(3));
+    rebound.rz(Qubit(1), 0.625);
+    // Different structure (extra rz) — still a miss. Then resubmit the
+    // *original* structure, which must hit.
+    let (status, _) = post_json(
+        addr,
+        "/route",
+        &route_body("line", &rebound, &[("trials", 1u64.into())]),
+    );
+    assert_eq!(status, 200);
+    let (status, hit) = post_json(
+        addr,
+        "/route",
+        &route_body("line", &circuit, &[("trials", 1u64.into())]),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(hit.get("plan_cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        hit.get("result")
+            .unwrap()
+            .get("total_search_steps")
+            .unwrap()
+            .as_u64(),
+        Some(0),
+        "a plan-cache hit must run zero search steps"
+    );
+    let (_, _, third) = http(addr, "GET", "/metrics", None);
+    let metric = |name: &str| -> u64 {
+        third
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{third}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(metric("sabre_serve_plan_cache_hits_total"), 1);
+    assert_eq!(metric("sabre_serve_plan_cache_misses_total"), 2);
+    assert_eq!(metric("sabre_serve_plan_cache_entries"), 2);
+    assert_eq!(metric("sabre_serve_plan_cache_inline_hits_total"), 1);
+    assert_eq!(metric("sabre_serve_rebind_ns_count"), 1);
+    // The hit bypassed the queue: still exactly two worker jobs ran.
+    assert_eq!(metric("sabre_serve_jobs_completed_total"), 2);
 
     let (status, health) = get_json(addr, "/healthz");
     assert_eq!(status, 200);
     assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
     assert_eq!(health.get("workers").unwrap().as_usize(), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn plan_cache_hit_rebinds_fresh_parameters_bit_identically() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "tokyo", "tokyo20");
+    let graph = devices::ibm_q20_tokyo().graph().clone();
+
+    // A VQA-shaped ansatz: parameterized rotation layers between a fixed
+    // entangler. Every submission below shares this structure; only the
+    // angles move.
+    let ansatz = |theta: f64| {
+        let mut c = Circuit::new(8);
+        for layer in 0..3 {
+            for q in 0..8u32 {
+                c.rz(Qubit(q), theta * f64::from(layer * 8 + q + 1));
+            }
+            for q in 0..7u32 {
+                c.cx(Qubit(q), Qubit(q + 1));
+            }
+            c.cx(Qubit(0), Qubit(7));
+        }
+        c
+    };
+
+    let (status, first) = post_json(addr, "/route", &route_body("tokyo", &ansatz(0.3), &[]));
+    assert_eq!(status, 200, "{first}");
+    assert_eq!(first.get("plan_cache").unwrap().as_str(), Some("miss"));
+
+    let (status, second) = post_json(addr, "/route", &route_body("tokyo", &ansatz(1.7), &[]));
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(second.get("plan_cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        second
+            .get("result")
+            .unwrap()
+            .get("total_search_steps")
+            .unwrap()
+            .as_u64(),
+        Some(0),
+        "a hit is served by re-binding, not by searching"
+    );
+
+    // The rebound answer is byte-identical to what a fresh route of the
+    // re-parameterized circuit would have produced (routing decisions
+    // never read gate parameters).
+    let direct = SabreRouter::new(graph, SabreConfig::default())
+        .unwrap()
+        .route(&ansatz(1.7))
+        .unwrap();
+    assert_matches_direct(&second, &direct);
     handle.shutdown();
 }
 

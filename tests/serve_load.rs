@@ -19,8 +19,11 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 mod common;
-use common::http;
+use common::{http, post_json};
 
+use sabre_circuit::{Circuit, Qubit};
+use sabre_json::JsonValue;
+use sabre_qasm::to_qasm;
 use sabre_serve::{start, ServeConfig, ServerHandle};
 
 const THREADS: usize = 16;
@@ -120,6 +123,124 @@ fn round_trip(stream: &mut TcpStream) -> Duration {
         assert!(n > 0, "server closed a keep-alive connection mid-response");
         buf.extend_from_slice(&chunk[..n]);
     }
+}
+
+/// Current value of a counter in the `/metrics` exposition.
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let (status, _, text) = http(addr, "GET", "/metrics", None);
+    assert_eq!(status, 200, "GET /metrics");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .map(|v| v.trim().parse().expect("metric value"))
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+/// Plan-cache churn under a deliberately tiny capacity: far more
+/// distinct structures than slots rotate through `POST /route`, each
+/// resubmitted with fresh angles, so the LRU evicts constantly while
+/// hits keep landing on the hot structures. Pins the bounded-memory
+/// contract: evictions happen, the entry gauge respects the capacity,
+/// re-bound responses stay correct, and RSS stays flat — a leaky cache
+/// (or eviction invalidating plans still being served) would show up
+/// here.
+#[test]
+#[ignore = "load test — sustained request churn; run via the CI serve-load job"]
+fn plan_cache_churn_is_bounded_and_leak_free() {
+    const CAPACITY: usize = 8;
+    const STRUCTURES: usize = 32;
+    const ROUNDS: usize = 12;
+
+    let handle = server(ServeConfig {
+        workers: 2,
+        plan_cache_capacity: CAPACITY,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let (status, response) = post_json(
+        addr,
+        "/devices",
+        &JsonValue::object([("id", "line".into()), ("builtin", "linear:12".into())]),
+    );
+    assert_eq!(status, 201, "{response}");
+
+    // Structure `s`: a distinct CX pattern; `theta` only moves angles.
+    let circuit = |s: usize, theta: f64| {
+        let mut c = Circuit::new(12);
+        for k in 0..(4 + s % 5) as u32 {
+            let a = (k * 3 + s as u32) % 12;
+            let b = (k * 5 + 1) % 12;
+            if a != b {
+                c.cx(Qubit(a), Qubit(b));
+                c.rz(Qubit(b), theta * f64::from(k + 1));
+            }
+        }
+        c
+    };
+    let submit = |s: usize, theta: f64| {
+        let body = JsonValue::object([
+            ("device", "line".into()),
+            (
+                "circuit",
+                JsonValue::object([("qasm", to_qasm(&circuit(s, theta)).into())]),
+            ),
+            ("include_physical", false.into()),
+        ]);
+        let (status, response) = post_json(addr, "/route", &body);
+        assert_eq!(status, 200, "{response}");
+        response
+    };
+
+    // Warm every structure once, then sample the baseline RSS.
+    for s in 0..STRUCTURES {
+        submit(s, 0.5);
+    }
+    let rss_warm = rss_kb();
+
+    for round in 0..ROUNDS {
+        for s in 0..STRUCTURES {
+            // Cold churn: strict rotation through 4× capacity distinct
+            // structures means each is evicted before its next visit.
+            submit(s, 0.1 + 0.07 * round as f64 + s as f64);
+            // Hot traffic: one of CAPACITY/2 structures is re-submitted
+            // with fresh angles on *every* iteration, so its LRU stamp
+            // stays newer than the cold tail and it survives eviction.
+            let hot = s % (CAPACITY / 2);
+            let response = submit(hot, 0.9 + 0.01 * (round * STRUCTURES + s) as f64);
+            // Correctness of re-bound answers under churn: a hit is
+            // served with zero search steps.
+            if response.get("plan_cache").and_then(JsonValue::as_str) == Some("hit") {
+                assert_eq!(
+                    response
+                        .get("result")
+                        .unwrap()
+                        .get("total_search_steps")
+                        .unwrap()
+                        .as_u64(),
+                    Some(0)
+                );
+            }
+        }
+    }
+
+    assert!(
+        metric(addr, "sabre_serve_plan_cache_evictions_total") > 0,
+        "rotating {STRUCTURES} structures through {CAPACITY} slots must evict"
+    );
+    assert!(metric(addr, "sabre_serve_plan_cache_hits_total") > 0);
+    assert!(metric(addr, "sabre_serve_plan_cache_entries") <= CAPACITY as u64);
+
+    // Bounded memory: churning hundreds of plans through a tiny cache
+    // must not grow the process. The limit is generous (allocator slack,
+    // metrics strings) — a real leak is megabytes per round.
+    if let (Some(warm), Some(last)) = (rss_warm, rss_kb()) {
+        let growth = last.saturating_sub(warm);
+        assert!(
+            growth < RSS_GROWTH_LIMIT_KB,
+            "RSS grew {growth} kB across {ROUNDS} churn rounds \
+             (warm {warm} kB, final {last} kB)"
+        );
+    }
+    handle.shutdown();
 }
 
 #[test]

@@ -325,6 +325,10 @@ fn predicted_cost_admission_answers_priced_429() {
         workers: 1,
         admission_slo_ms: 1,
         queue_capacity: 16,
+        // The probes below re-post one tiny structure; with the plan
+        // cache on they would be answered inline before admission
+        // pricing — this test pins the pricing path itself.
+        plan_cache_capacity: 0,
         ..ServeConfig::default()
     });
     let addr = handle.addr();
