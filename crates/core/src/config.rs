@@ -72,6 +72,20 @@ pub struct SabreConfig {
     /// perfect initial mapping, deterministically instead of by restart
     /// luck. `0` disables the probe (pure multi-restart SABRE).
     pub embedding_probe_budget: usize,
+    /// Collect a [`RouteProfile`](crate::RouteProfile) while routing:
+    /// per-phase hot-loop wall times (front maintenance, extended-set
+    /// BFS, candidate scoring), candidate counts, decay resets, forced
+    /// routings, and per-traversal step counts, returned as
+    /// [`SabreResult::profile`](crate::SabreResult::profile).
+    ///
+    /// **Observability-only knob**: the routed output is bit-identical
+    /// with the flag on or off (the collector only reads the monotonic
+    /// clock — `tests/hot_loop_equivalence.rs` interleaves both against
+    /// `sabre::reference`), and like the search-effort knobs it is
+    /// excluded from plan-cache keying ([`crate::plan`]). Off by
+    /// default; the disabled path costs one predictable branch per
+    /// phase boundary and never reads the clock.
+    pub profile: bool,
 }
 
 impl Default for SabreConfig {
@@ -87,6 +101,7 @@ impl Default for SabreConfig {
             seed: 2019, // the paper's publication year; any value works
             livelock_slack: 10,
             embedding_probe_budget: 50_000,
+            profile: false,
         }
     }
 }

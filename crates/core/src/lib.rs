@@ -67,6 +67,7 @@ mod heuristic;
 mod layout;
 pub mod parallel;
 pub mod plan;
+mod profile;
 pub mod reference;
 mod result;
 pub mod router;
@@ -80,6 +81,7 @@ pub use error::RouteError;
 pub use layout::Layout;
 pub use parallel::{transpile_batch, transpile_batch_cached, BatchOutcome};
 pub use plan::{PlanCache, PlanCacheStats, RoutedPlan};
+pub use profile::RouteProfile;
 pub use result::{RoutedCircuit, SabreResult, TraversalReport};
 pub use sabre::SabreRouter;
 pub use transpile::{transpile, TranspileOptions, TranspileOutput};

@@ -47,6 +47,7 @@
 //! | `num_restarts` | **no** | ditto — more restarts, same objective |
 //! | `num_traversals` | **no** | ditto |
 //! | `embedding_probe_budget` | **no** | ditto — probe only affects which plan wins, not its validity |
+//! | `profile` | **no** | observability-only: routed output is bit-identical either way |
 //!
 //! Excluding the effort knobs means a parameter sweep that varies `seed`
 //! per submission (a common client habit) still enjoys a 100% hit rate
@@ -190,6 +191,7 @@ impl RoutedPlan {
             traversals: Vec::new(),
             first_traversal_added_gates: self.result.first_traversal_added_gates,
             elapsed: start.elapsed(),
+            profile: None,
         }
     }
 

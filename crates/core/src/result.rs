@@ -4,6 +4,7 @@ use std::time::Duration;
 use sabre_circuit::Circuit;
 use sabre_json::JsonValue;
 
+use crate::profile::RouteProfile;
 use crate::Layout;
 
 /// A layout as JSON: the logical→physical mapping as an array of physical
@@ -140,6 +141,13 @@ pub struct SabreResult {
     pub first_traversal_added_gates: usize,
     /// Wall-clock time of the whole routing call.
     pub elapsed: Duration,
+    /// Hot-loop phase profile aggregated over every traversal of every
+    /// restart (restart order), present iff the route ran with
+    /// [`SabreConfig::profile`](crate::SabreConfig::profile) set.
+    /// Deliberately **not** part of the deterministic-output contract:
+    /// equality checks between routing runs compare [`Self::best`] and
+    /// [`Self::traversals`], never this field.
+    pub profile: Option<RouteProfile>,
 }
 
 impl SabreResult {
@@ -171,9 +179,10 @@ impl SabreResult {
     /// The full result as a JSON object: the [`RoutedCircuit::to_json`]
     /// payload under `"best"`, plus restart/probe provenance and the
     /// timing telemetry (`elapsed_ns`, `total_search_steps`,
-    /// `ns_per_step`).
+    /// `ns_per_step`). When the route ran with profiling enabled, the
+    /// [`RouteProfile`] rides along under `"profile"`.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::object([
+        let mut json = JsonValue::object([
             ("best", self.best.to_json()),
             ("best_restart", self.best_restart.into()),
             ("perfect_placement", self.perfect_placement.into()),
@@ -184,7 +193,13 @@ impl SabreResult {
             ("total_search_steps", self.total_search_steps().into()),
             ("elapsed_ns", self.elapsed.as_nanos().into()),
             ("ns_per_step", self.ns_per_step().into()),
-        ])
+        ]);
+        if let Some(profile) = &self.profile {
+            if let JsonValue::Object(fields) = &mut json {
+                fields.push(("profile".to_string(), profile.to_json()));
+            }
+        }
+        json
     }
 }
 
@@ -306,6 +321,7 @@ mod tests {
             ],
             first_traversal_added_gates: 12,
             elapsed: Duration::from_nanos(1000),
+            profile: None,
         };
         assert_eq!(result.total_search_steps(), 10);
         assert_eq!(result.ns_per_step(), 100);
@@ -325,6 +341,7 @@ mod tests {
             traversals: vec![],
             first_traversal_added_gates: 0,
             elapsed: Duration::from_nanos(42),
+            profile: None,
         };
         assert_eq!(result.total_search_steps(), 0);
         assert_eq!(result.ns_per_step(), 42);

@@ -19,6 +19,7 @@ use rand::Rng;
 use sabre_circuit::{Circuit, DependencyDag, ExecutionFrontier, Qubit};
 use sabre_topology::{CouplingGraph, WeightedDistanceMatrix};
 
+use crate::profile::ProfileCollector;
 use crate::search::SearchState;
 use crate::{Layout, RoutedCircuit, SabreConfig};
 
@@ -72,17 +73,29 @@ pub fn route_pass(
         dag: &dag,
         config,
     };
-    route_pass_prepared(&ctx, initial_layout, rng, &mut state)
+    // The single-pass entry point has no channel to return a profile, so
+    // it always runs the disabled collector — `SabreConfig::profile` is
+    // honored by the multi-restart [`crate::SabreRouter`] pipeline.
+    route_pass_prepared(
+        &ctx,
+        initial_layout,
+        rng,
+        &mut state,
+        &mut ProfileCollector::Off,
+    )
 }
 
 /// [`route_pass`] against caller-prepared context and scratch — the form
 /// the multi-restart driver uses so the DAG is built once per circuit and
-/// the [`SearchState`] buffers persist across traversals.
+/// the [`SearchState`] buffers persist across traversals. Phase timings
+/// and search-dynamics counters accumulate into `collector`
+/// ([`ProfileCollector::Off`] is free: one dead branch per boundary).
 pub(crate) fn route_pass_prepared(
     ctx: &PassContext<'_>,
     initial_layout: Layout,
     rng: &mut StdRng,
     state: &mut SearchState,
+    collector: &mut ProfileCollector,
 ) -> RoutedCircuit {
     let PassContext {
         circuit,
@@ -118,9 +131,12 @@ pub(crate) fn route_pass_prepared(
     // all skipped. Only gates with a physical endpoint on the swapped
     // pair can change executability, so the dirtiness check is O(|F|).
     let mut front_dirty = true;
+    // Phase spans: dead (no clock read) unless the collector is On.
+    let clock = collector.clock();
 
     loop {
         if front_dirty {
+            let front_span = clock.start();
             // Execute every gate that is logically ready and physically
             // executable, repeating until the frontier stalls (the
             // `Execute_gate_list` loop of Algorithm 1). The snapshot is
@@ -158,6 +174,7 @@ pub(crate) fn route_pass_prepared(
                 }
             }
             if frontier.is_complete() {
+                collector.add_front(front_span);
                 break;
             }
 
@@ -174,6 +191,7 @@ pub(crate) fn route_pass_prepared(
                 !state.front.is_empty(),
                 "stalled frontier must contain a blocked two-qubit gate"
             );
+            collector.add_front(front_span);
         }
 
         // Livelock guard (never fires with the paper configuration; see
@@ -196,6 +214,7 @@ pub(crate) fn route_pass_prepared(
         }
 
         if front_dirty {
+            let extended_span = clock.start();
             dag.extended_set_with(
                 circuit,
                 &state.front,
@@ -203,8 +222,10 @@ pub(crate) fn route_pass_prepared(
                 &mut state.extended_scratch,
                 &mut state.extended,
             );
+            collector.add_extended_set(extended_span);
         }
 
+        let scoring_span = clock.start();
         state
             .incidence
             .prepare(circuit, dist, &layout, &state.front, &state.extended);
@@ -231,6 +252,7 @@ pub(crate) fn route_pass_prepared(
             }
         }
         let (sa, sb) = state.best[rng.gen_range(0..state.best.len())];
+        collector.add_scoring(scoring_span, candidates.len());
 
         // Commit: emit the SWAP, update π, bump decay.
         out.swap(sa, sb);
@@ -255,6 +277,7 @@ pub(crate) fn route_pass_prepared(
     }
 
     debug_assert!(layout.is_consistent());
+    collector.finish_traversal(search_steps, forced_routings, decay.resets);
     RoutedCircuit {
         physical: out,
         initial_layout,
@@ -274,6 +297,11 @@ pub(crate) struct DecayState {
     swaps_since_reset: u32,
     delta: f64,
     reset_interval: u32,
+    /// How many times the table reset — search-dynamics telemetry for
+    /// the [`crate::RouteProfile`] collector. Always counted (one `u64`
+    /// increment inside a loop that already touches every value), never
+    /// read by the search itself.
+    pub(crate) resets: u64,
 }
 
 impl DecayState {
@@ -283,6 +311,7 @@ impl DecayState {
             swaps_since_reset: 0,
             delta: config.decay_delta,
             reset_interval: config.decay_reset_interval,
+            resets: 0,
         }
     }
 
@@ -295,6 +324,7 @@ impl DecayState {
             *v = 1.0;
         }
         self.swaps_since_reset = 0;
+        self.resets += 1;
     }
 
     /// A two-qubit gate executed: the search made real progress.

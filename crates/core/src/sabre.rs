@@ -14,6 +14,7 @@ use sabre_topology::{
 use sabre_circuit::DependencyDag;
 
 use crate::cache::EmbeddingVerdictCache;
+use crate::profile::{ProfileCollector, RouteProfile};
 use crate::router::{route_pass, route_pass_prepared, PassContext};
 use crate::search::SearchState;
 use crate::{Layout, RouteError, RoutedCircuit, SabreConfig, SabreResult, TraversalReport};
@@ -52,6 +53,11 @@ pub(crate) struct RestartOutcome {
     pub(crate) reports: Vec<TraversalReport>,
     /// SWAPs of this restart's very first (look-ahead) traversal.
     pub(crate) first_traversal_swaps: usize,
+    /// Hot-loop phase profile of this restart's traversals, when
+    /// [`SabreConfig::profile`] is set. Riding in the outcome keeps the
+    /// rayon-parallel engine's restart-order reduction (and with it the
+    /// bit-identity contract) intact.
+    pub(crate) profile: Option<RouteProfile>,
 }
 
 /// The complete SABRE pipeline: preprocessing, multi-restart
@@ -324,6 +330,7 @@ impl SabreRouter {
         let mut reports = Vec::with_capacity(self.config.num_traversals);
         let mut first_traversal_swaps = 0;
         let mut state = SearchState::new(&self.graph);
+        let mut collector = ProfileCollector::new(self.config.profile);
 
         for traversal in 0..self.config.num_traversals {
             let is_reverse = traversal % 2 == 1;
@@ -342,7 +349,7 @@ impl SabreRouter {
                 },
                 config: &self.config,
             };
-            let pass = route_pass_prepared(&ctx, layout, &mut rng, &mut state);
+            let pass = route_pass_prepared(&ctx, layout, &mut rng, &mut state, &mut collector);
             layout = pass.final_layout.clone();
             reports.push(TraversalReport {
                 restart,
@@ -367,6 +374,7 @@ impl SabreRouter {
             candidate: last_pass.expect("traversal count is odd"),
             reports,
             first_traversal_swaps,
+            profile: collector.take(),
         }
     }
 
@@ -384,6 +392,7 @@ impl SabreRouter {
         let mut traversals =
             Vec::with_capacity(self.config.num_restarts * self.config.num_traversals);
         let mut first_traversal_swaps_best: Option<usize> = None;
+        let mut profile: Option<RouteProfile> = None;
 
         for (restart, outcome) in outcomes.into_iter().enumerate() {
             traversals.extend(outcome.reports);
@@ -391,6 +400,14 @@ impl SabreRouter {
                 Some(prev) => prev.min(outcome.first_traversal_swaps),
                 None => outcome.first_traversal_swaps,
             });
+            // Restart-order merge: the aggregated profile is identical
+            // whether restarts ran sequentially or on the rayon pool.
+            if let Some(partial) = outcome.profile {
+                match &mut profile {
+                    Some(total) => total.merge(&partial),
+                    None => profile = Some(partial),
+                }
+            }
             if is_better(&outcome.candidate, best.as_ref()) {
                 best = Some(outcome.candidate);
                 best_restart = restart;
@@ -428,6 +445,7 @@ impl SabreRouter {
             traversals,
             first_traversal_added_gates: 3 * first_traversal_swaps_best.unwrap_or(0),
             elapsed: start.elapsed(),
+            profile,
         }
     }
 

@@ -240,8 +240,9 @@ fn parse_gate(spec: &JsonValue) -> Result<Gate, ApiError> {
 /// `num_restarts` (`trials`), `num_traversals`, `heuristic`
 /// (`"basic" | "lookahead" | "decay"`), `embedding_probe_budget`
 /// (`probe_budget`), `extended_set_size`, `extended_set_weight`,
-/// `decay_delta`, `decay_reset_interval`, `livelock_slack`. Unknown keys
-/// are rejected — a typo must not silently fall back to defaults.
+/// `decay_delta`, `decay_reset_interval`, `livelock_slack`, `profile`
+/// (boolean; same effect as the `?profile=true` query flag). Unknown
+/// keys are rejected — a typo must not silently fall back to defaults.
 pub fn apply_config_overrides(
     overrides: Option<&JsonValue>,
     base: SabreConfig,
@@ -303,6 +304,9 @@ pub fn apply_config_overrides(
             }
             "livelock_slack" => {
                 config.livelock_slack = value.as_usize().ok_or_else(|| bad("an integer"))?;
+            }
+            "profile" => {
+                config.profile = value.as_bool().ok_or_else(|| bad("a boolean"))?;
             }
             other => {
                 return Err(ApiError::bad_request(format!(

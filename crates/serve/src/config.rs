@@ -1,4 +1,5 @@
 use sabre::SabreConfig;
+use sabre_trace::LogFormat;
 
 /// Tunable knobs of the routing service. Start from
 /// `ServeConfig::default()` and override; [`crate::start`] validates.
@@ -78,6 +79,19 @@ pub struct ServeConfig {
     /// key deliberately ignores search-effort knobs (`seed`,
     /// `num_restarts`, …).
     pub plan_cache_capacity: usize,
+    /// Capacity of the in-memory ring of completed request traces served
+    /// by `GET /debug/traces` (newest first). Every request is traced —
+    /// phase timings are a handful of monotonic clock reads — and the
+    /// ring bounds retention. `0` disables retention entirely (the
+    /// endpoint then reports an empty list).
+    pub trace_capacity: usize,
+    /// Format of the slow-request log emitted on stderr: human-readable
+    /// `key=value` text or one JSON object per line.
+    pub log_format: LogFormat,
+    /// Requests whose total serving time reaches this many milliseconds
+    /// are logged to stderr with their full phase breakdown. `0`
+    /// disables slow-request logging (the default).
+    pub slow_request_ms: u64,
     /// Baseline [`SabreConfig`] for every request; per-request `"config"`
     /// overrides are applied on top of this.
     pub default_config: SabreConfig,
@@ -103,6 +117,9 @@ impl Default for ServeConfig {
             write_deadline_ms: 30_000,
             idle_timeout_ms: 5000,
             plan_cache_capacity: 512,
+            trace_capacity: 256,
+            log_format: LogFormat::Text,
+            slow_request_ms: 0,
             default_config: SabreConfig::default(),
         }
     }

@@ -29,6 +29,8 @@ pub struct Request {
     pub method: String,
     /// Path component of the request target, query string stripped.
     pub path: String,
+    /// Raw query string (bytes after the first `?`, empty when absent).
+    pub query: String,
     /// Headers in arrival order; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
@@ -62,6 +64,23 @@ impl Request {
     /// (`"/devices/x/noise"` → `["devices", "x", "noise"]`).
     pub fn path_segments(&self) -> Vec<&str> {
         self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Value of a `&`-separated `key=value` query parameter (first match;
+    /// a bare `key` with no `=` yields `""`). No percent-decoding — the
+    /// service's parameters are all simple tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
+    /// Whether a boolean query parameter is switched on: present as
+    /// `name`, `name=1`, or `name=true` (case-insensitive).
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query_param(name)
+            .is_some_and(|v| v.is_empty() || v == "1" || v.eq_ignore_ascii_case("true"))
     }
 
     /// Whether the client asked to reuse the connection: an explicit
@@ -293,9 +312,14 @@ fn parse_head(head: &[u8], max_body: usize) -> Result<(Request, usize), HttpErro
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
     let request = Request {
         method: method.to_ascii_uppercase(),
-        path: target.split('?').next().unwrap_or(target).to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
         headers,
         body: Vec::new(),
         http11: version == "HTTP/1.1",
@@ -552,10 +576,31 @@ mod tests {
         let req = read_request(&mut Duplex::new(raw), 1024).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/route");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.header("HOST"), Some("h"));
         assert_eq!(req.body, b"body");
         assert_eq!(req.path_segments(), ["route"]);
+    }
+
+    #[test]
+    fn query_params_and_flags() {
+        let req = |raw: &[u8]| read_request(&mut Duplex::new(raw), 1024).unwrap();
+        let r = req(b"GET /route?profile=true&limit=5&bare HTTP/1.1\r\n\r\n");
+        assert_eq!(r.query_param("profile"), Some("true"));
+        assert_eq!(r.query_param("limit"), Some("5"));
+        assert_eq!(r.query_param("bare"), Some(""));
+        assert_eq!(r.query_param("missing"), None);
+        assert!(r.query_flag("profile"));
+        assert!(r.query_flag("bare"));
+        assert!(!r.query_flag("limit"), "limit=5 is not a boolean flag");
+        assert!(!r.query_flag("missing"));
+        let plain = req(b"GET /route HTTP/1.1\r\n\r\n");
+        assert_eq!(plain.query, "");
+        assert!(!plain.query_flag("profile"));
+        assert!(req(b"GET /r?profile=1 HTTP/1.1\r\n\r\n").query_flag("profile"));
+        assert!(req(b"GET /r?profile=TRUE HTTP/1.1\r\n\r\n").query_flag("profile"));
+        assert!(!req(b"GET /r?profile=false HTTP/1.1\r\n\r\n").query_flag("profile"));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! |---|---|---|
 //! | `GET /healthz` | — | liveness + queue depth |
 //! | `GET /metrics` | — | Prometheus text (per-step routing ns, queue, cache) |
+//! | `GET /debug/traces` | — | newest-first ring of completed request traces (phase timings) |
 //! | `GET /devices` | — | registered devices |
 //! | `POST /devices` | `{"id", "builtin"}` or `{"id", "num_qubits", "edges"}` | register + warm the cache |
 //! | `POST /devices/{id}/noise` | noise spec | live calibration refresh (no restart) |

@@ -76,11 +76,35 @@ pub struct Metrics {
     /// Histogram of parameter re-bind latency (nanoseconds) for
     /// plan-cache hits — the serving cost of a cached structure.
     pub rebind_ns: Histogram,
+    /// Per-request front-layer maintenance time (ns), fed by profiled
+    /// `/route?profile=true` jobs; rendered as the labeled
+    /// `route_phase_ns{phase="front"}` series.
+    pub route_phase_front_ns: Histogram,
+    /// Extended-set BFS time (ns) of profiled jobs
+    /// (`route_phase_ns{phase="extended_set"}`).
+    pub route_phase_extended_set_ns: Histogram,
+    /// Candidate scoring time (ns) of profiled jobs
+    /// (`route_phase_ns{phase="scoring"}`).
+    pub route_phase_scoring_ns: Histogram,
 }
 
 /// Upper bounds (ms) of the `admission_predicted_wait_ms` buckets; an
 /// implicit `+Inf` bucket follows.
 pub const PREDICTED_WAIT_BUCKETS_MS: [u64; 10] = [1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000];
+
+/// Upper bounds (ns) of the `route_phase_ns` buckets: hot-loop phase
+/// totals range from tens of microseconds (tiny circuits) to whole
+/// seconds (large profiled routes), so the bands are decades.
+pub const ROUTE_PHASE_NS_BUCKETS: [u64; 8] = [
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+];
 
 /// Upper bounds (ns) of the `rebind_ns` buckets. Re-binding is a clone
 /// plus a parameter stamp — microseconds, not milliseconds — so the
@@ -143,24 +167,40 @@ impl Histogram {
     fn render(&self, out: &mut String, name: &str, help: &str) {
         let _ = writeln!(out, "# HELP sabre_serve_{name} {help}");
         let _ = writeln!(out, "# TYPE sabre_serve_{name} histogram");
+        self.render_series(out, name, "");
+    }
+
+    /// The bucket/sum/count sample lines, each tagged with `extra_label`
+    /// (e.g. `phase="front",`) so several histograms can share one
+    /// HELP/TYPE block as a labeled family.
+    fn render_series(&self, out: &mut String, name: &str, extra_label: &str) {
         let mut cumulative = 0u64;
         for (idx, bound) in self.bounds.iter().enumerate() {
             cumulative += self.buckets[idx].load(Ordering::Relaxed);
             let _ = writeln!(
                 out,
-                "sabre_serve_{name}_bucket{{le=\"{bound}\"}} {cumulative}"
+                "sabre_serve_{name}_bucket{{{extra_label}le=\"{bound}\"}} {cumulative}"
             );
         }
         cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "sabre_serve_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
         let _ = writeln!(
             out,
-            "sabre_serve_{name}_sum {}",
+            "sabre_serve_{name}_bucket{{{extra_label}le=\"+Inf\"}} {cumulative}"
+        );
+        let (sum_labels, count_labels) = if extra_label.is_empty() {
+            (String::new(), String::new())
+        } else {
+            let trimmed = extra_label.trim_end_matches(',');
+            (format!("{{{trimmed}}}"), format!("{{{trimmed}}}"))
+        };
+        let _ = writeln!(
+            out,
+            "sabre_serve_{name}_sum{sum_labels} {}",
             self.sum.load(Ordering::Relaxed)
         );
         let _ = writeln!(
             out,
-            "sabre_serve_{name}_count {}",
+            "sabre_serve_{name}_count{count_labels} {}",
             self.count.load(Ordering::Relaxed)
         );
     }
@@ -195,6 +235,9 @@ impl Default for Metrics {
             predicted_wait_ms: Histogram::new(&PREDICTED_WAIT_BUCKETS_MS),
             plan_cache_inline_hits: AtomicU64::new(0),
             rebind_ns: Histogram::new(&REBIND_NS_BUCKETS),
+            route_phase_front_ns: Histogram::new(&ROUTE_PHASE_NS_BUCKETS),
+            route_phase_extended_set_ns: Histogram::new(&ROUTE_PHASE_NS_BUCKETS),
+            route_phase_scoring_ns: Histogram::new(&ROUTE_PHASE_NS_BUCKETS),
         }
     }
 }
@@ -550,6 +593,21 @@ impl Metrics {
             "rebind_ns",
             "Parameter re-bind latency (ns) for plan-cache hits.",
         );
+
+        // The routing-phase family shares one HELP/TYPE block; each
+        // phase is a labeled series fed by `/route?profile=true` jobs.
+        let _ = writeln!(
+            out,
+            "# HELP sabre_serve_route_phase_ns Hot-loop time per routing phase (ns), from profiled /route jobs."
+        );
+        let _ = writeln!(out, "# TYPE sabre_serve_route_phase_ns histogram");
+        for (phase, histogram) in [
+            ("front", &self.route_phase_front_ns),
+            ("extended_set", &self.route_phase_extended_set_ns),
+            ("scoring", &self.route_phase_scoring_ns),
+        ] {
+            histogram.render_series(&mut out, "route_phase_ns", &format!("phase=\"{phase}\","));
+        }
         out
     }
 }
@@ -572,6 +630,8 @@ mod tests {
         m.predicted_wait_ms.observe(9999);
         Metrics::add(&m.plan_cache_inline_hits, 5);
         m.rebind_ns.observe(4_200);
+        m.route_phase_front_ns.observe(2_000_000);
+        m.route_phase_scoring_ns.observe(9_000_000);
         let text = m.render(
             GaugeSnapshot {
                 queue_depth: 2,
@@ -620,6 +680,17 @@ mod tests {
         assert!(text.contains("# TYPE sabre_serve_rebind_ns histogram"));
         assert!(text.contains("sabre_serve_rebind_ns_bucket{le=\"5000\"} 1"));
         assert!(text.contains("sabre_serve_rebind_ns_count 1"));
+        assert!(text.contains("# TYPE sabre_serve_route_phase_ns histogram"));
+        assert!(
+            text.contains("sabre_serve_route_phase_ns_bucket{phase=\"front\",le=\"10000000\"} 1")
+        );
+        assert!(text.contains("sabre_serve_route_phase_ns_sum{phase=\"front\"} 2000000"));
+        assert!(text.contains("sabre_serve_route_phase_ns_count{phase=\"front\"} 1"));
+        assert!(
+            text.contains("sabre_serve_route_phase_ns_bucket{phase=\"scoring\",le=\"1000000\"} 0")
+        );
+        assert!(text.contains("sabre_serve_route_phase_ns_count{phase=\"scoring\"} 1"));
+        assert!(text.contains("sabre_serve_route_phase_ns_count{phase=\"extended_set\"} 0"));
         assert_eq!(m.avg_ns_per_step(), 200);
     }
 

@@ -17,8 +17,8 @@
 //!    └──────────── writing response ──► keep-alive idle / close / linger-drain
 //! ```
 //!
-//! Worker threads never touch sockets: they push `(token, Response)`
-//! completions onto [`RoutingService`]'s completion list and nudge the
+//! Worker threads never touch sockets: they push [`Completion`]s (token,
+//! response, phase timings) onto [`RoutingService`]'s list and nudge the
 //! reactor through a loopback [`Waker`] pair, and the reactor writes
 //! the bytes when the socket is ready. Tokens are generation-stamped so
 //! a completion for a connection that was reaped (and whose slot was
@@ -38,11 +38,13 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sabre_trace::{is_valid_trace_id, next_trace_id, unix_ms_now, RequestTrace};
+
 use crate::admission::RateLimiter;
 use crate::http::{Parsed, RequestParser, Response};
 use crate::metrics::Metrics;
 use crate::poll::{self, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
-use crate::service::{dispatch, AdmitCtx, Outcome, RoutingService};
+use crate::service::{dispatch, AdmitCtx, Completion, Outcome, RoutingService};
 
 /// How long shutdown lets stalled reads/writes finish before
 /// force-closing them (connections awaiting a worker are exempt — their
@@ -140,6 +142,22 @@ enum DeadlineKind {
     Linger,
 }
 
+/// The trace of the request currently in flight on a connection: born
+/// when the request parses, finalized (pushed into the trace ring, slow
+/// log checked) once its response is fully flushed.
+struct ActiveTrace {
+    id: String,
+    method: String,
+    target: String,
+    /// `0` until the *final* response is queued — an interim
+    /// `100 Continue` never stamps it, so it never finalizes the trace.
+    status: u16,
+    started: Instant,
+    unix_ms: u64,
+    write_started: Instant,
+    phases: Vec<(&'static str, u64)>,
+}
+
 /// One connection's full state.
 struct Conn {
     stream: TcpStream,
@@ -159,6 +177,14 @@ struct Conn {
     /// The peer half-closed its send side; close once the in-flight
     /// response (if any) is written.
     saw_eof: bool,
+    /// Trace ID minted at accept time; the connection's first request
+    /// adopts it unless the client supplied its own `X-Request-Id`.
+    accept_trace_id: Option<String>,
+    /// When the current request's first byte arrived (the start of its
+    /// `read` phase); taken when the request parses.
+    read_started: Option<Instant>,
+    /// Trace of the request currently being answered.
+    trace: Option<ActiveTrace>,
 }
 
 impl Conn {
@@ -176,6 +202,9 @@ impl Conn {
             deadline: Some((DeadlineKind::Idle, Instant::now() + idle_timeout)),
             linger_budget: 0,
             saw_eof: false,
+            accept_trace_id: Some(next_trace_id()),
+            read_started: None,
+            trace: None,
         }
     }
 
@@ -183,6 +212,12 @@ impl Conn {
         response
             .write_to(&mut self.out)
             .expect("serializing into a Vec cannot fail");
+        if let Some(trace) = &mut self.trace {
+            if trace.status == 0 {
+                trace.status = response.status();
+                trace.write_started = Instant::now();
+            }
+        }
         self.state = ConnState::Writing;
         self.after_write = after;
         self.deadline = Some((DeadlineKind::Write, Instant::now() + write_deadline));
@@ -265,6 +300,10 @@ fn token(idx: usize, gen: u32) -> u64 {
 
 fn split(token: u64) -> (usize, u32) {
     ((token >> 32) as usize, token as u32)
+}
+
+fn elapsed_ns(at: Instant) -> u64 {
+    at.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Runs the reactor until shutdown completes. Spawned as the
@@ -452,14 +491,19 @@ impl Reactor {
     /// drop the response — the generation stamp guarantees it can never
     /// reach a recycled slot's new owner.
     fn deliver_completions(&mut self) {
-        let completed: Vec<(u64, Response)> = std::mem::take(
+        let completed: Vec<Completion> = std::mem::take(
             &mut *self
                 .service
                 .completions
                 .lock()
                 .expect("completion list poisoned"),
         );
-        for (tok, response) in completed {
+        for Completion {
+            token: tok,
+            response,
+            phases,
+        } in completed
+        {
             let draining = self.draining();
             let write_deadline = self.write_deadline;
             let Some(conn) = self.conns.get_mut(tok) else {
@@ -469,6 +513,13 @@ impl Reactor {
                 continue;
             }
             let keep = conn.keep_after_job && !draining;
+            let response = match &mut conn.trace {
+                Some(trace) => {
+                    trace.phases.extend(phases);
+                    response.with_header("X-Request-Id", trace.id.clone())
+                }
+                None => response,
+            };
             let response = if keep {
                 response.keep_alive()
             } else {
@@ -539,6 +590,11 @@ impl Reactor {
             if eof {
                 conn.saw_eof = true;
             }
+            if pulled > 0 && conn.read_started.is_none() {
+                // First byte of a (potential) request: the read phase
+                // starts here and ends when the request parses.
+                conn.read_started = Some(Instant::now());
+            }
         }
         self.advance_requests(tok);
         if eof {
@@ -589,12 +645,38 @@ impl Reactor {
                     // writable path resumes parsing later.
                 }
                 Ok(Parsed::Request(request)) => {
-                    let (peer, served) = {
+                    let (peer, served, mut trace) = {
                         let Some(conn) = self.conns.get_mut(tok) else {
                             return;
                         };
                         conn.served += 1;
-                        (conn.peer, conn.served)
+                        let started = conn.read_started.take().unwrap_or_else(Instant::now);
+                        // A client-supplied X-Request-Id (validated) wins
+                        // over the ID minted at accept, so callers can
+                        // correlate against their own tracing systems.
+                        let id = request
+                            .header("x-request-id")
+                            .filter(|id| is_valid_trace_id(id))
+                            .map(str::to_string)
+                            .unwrap_or_else(|| {
+                                conn.accept_trace_id.take().unwrap_or_else(next_trace_id)
+                            });
+                        let target = if request.query.is_empty() {
+                            request.path.clone()
+                        } else {
+                            format!("{}?{}", request.path, request.query)
+                        };
+                        let trace = ActiveTrace {
+                            id,
+                            method: request.method.clone(),
+                            target,
+                            status: 0,
+                            started,
+                            unix_ms: unix_ms_now(),
+                            write_started: started,
+                            phases: vec![("read", elapsed_ns(started))],
+                        };
+                        (conn.peer, conn.served, trace)
                     };
                     let wants_ka = request.wants_keep_alive();
                     let outcome = dispatch(
@@ -604,6 +686,8 @@ impl Reactor {
                             peer,
                             token: tok,
                             limiter: &mut self.limiter,
+                            trace_id: &trace.id,
+                            phases: &mut trace.phases,
                         },
                     );
                     let draining = self.draining();
@@ -615,11 +699,16 @@ impl Reactor {
                     match outcome {
                         Outcome::Respond(response) => {
                             let keep = wants_ka && served < max_requests && !draining;
+                            let response = response.with_header("X-Request-Id", trace.id.clone());
                             let response = if keep {
                                 response.keep_alive()
                             } else {
                                 response
                             };
+                            // Install the trace before queueing so
+                            // queue_response stamps its status and the
+                            // start of the write phase.
+                            conn.trace = Some(trace);
                             conn.queue_response(
                                 &response,
                                 if keep {
@@ -635,6 +724,7 @@ impl Reactor {
                             // bytes may hold the next request.
                         }
                         Outcome::Queued => {
+                            conn.trace = Some(trace);
                             conn.state = ConnState::AwaitingJob;
                             conn.keep_after_job = wants_ka && served < max_requests;
                             conn.deadline = None;
@@ -674,7 +764,22 @@ impl Reactor {
             if conn.out_pos >= conn.out.len() {
                 conn.out.clear();
                 conn.out_pos = 0;
-                match conn.after_write {
+                let after = conn.after_write;
+                // A stamped trace (final response queued) is complete
+                // once its bytes are flushed; an interim 100 Continue
+                // leaves status at 0 and the trace in place.
+                let finished = if conn.trace.as_ref().is_some_and(|t| t.status != 0) {
+                    conn.trace.take()
+                } else {
+                    None
+                };
+                if let Some(trace) = finished {
+                    self.finish_trace(trace);
+                }
+                let Some(conn) = self.conns.get_mut(tok) else {
+                    return;
+                };
+                match after {
                     AfterWrite::Resume => {
                         if conn.saw_eof {
                             self.close(tok);
@@ -836,6 +941,25 @@ impl Reactor {
                 Err(_) => return,
             }
         }
+    }
+
+    /// Seals a completed request trace: appends the write phase, records
+    /// it against the slow-request log, and retains it in the debug ring.
+    fn finish_trace(&self, mut trace: ActiveTrace) {
+        trace
+            .phases
+            .push(("write", elapsed_ns(trace.write_started)));
+        let record = RequestTrace {
+            id: trace.id,
+            method: trace.method,
+            target: trace.target,
+            status: trace.status,
+            unix_ms: trace.unix_ms,
+            total_ns: elapsed_ns(trace.started),
+            phases: trace.phases,
+        };
+        self.service.slow_log.record(&record);
+        self.service.traces.push(record);
     }
 
     fn close(&mut self, tok: u64) {

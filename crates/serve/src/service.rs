@@ -51,6 +51,7 @@ use sabre_json::JsonValue;
 use sabre_shard::{route_sharded, Fleet, ShardConfig};
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::{CouplingGraph, DistanceBackend};
+use sabre_trace::{SlowLog, Span, TraceRing};
 
 use crate::admission::{self, RateLimiter};
 use crate::api::{self, ApiError};
@@ -92,7 +93,19 @@ pub(crate) struct Job {
     kind: JobKind,
     /// The reactor connection-table token awaiting this job's response.
     pub(crate) token: u64,
+    /// The request's trace id, riding along on the worker-pool hop so a
+    /// worker-side failure can still be correlated with its trace.
+    pub(crate) trace_id: String,
     admitted: Instant,
+}
+
+/// A finished job: the response plus the worker-side phase timings
+/// (`queue_wait`, `route`, `serialize`) the reactor folds into the
+/// request's trace before finalizing it.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) response: Response,
+    pub(crate) phases: Vec<(&'static str, u64)>,
 }
 
 enum JobKind {
@@ -129,8 +142,12 @@ pub(crate) struct RoutingService {
     fleets: RwLock<HashMap<String, Vec<String>>>,
     queue: BoundedQueue<Job>,
     pub(crate) metrics: Metrics,
+    /// Completed request traces served by `GET /debug/traces`.
+    pub(crate) traces: TraceRing,
+    /// Slow-request logger (stderr, text or JSONL).
+    pub(crate) slow_log: SlowLog,
     /// Finished jobs awaiting delivery by the reactor.
-    pub(crate) completions: Mutex<Vec<(u64, Response)>>,
+    pub(crate) completions: Mutex<Vec<Completion>>,
     /// Nudges the reactor out of `poll` when a completion lands.
     waker: Waker,
     /// Estimated steps of jobs popped but not yet finished — the
@@ -146,6 +163,8 @@ impl RoutingService {
     fn new(config: ServeConfig, waker: Waker) -> Self {
         let queue = BoundedQueue::new(config.queue_capacity);
         let cache = DeviceCache::with_plan_capacity(config.plan_cache_capacity);
+        let traces = TraceRing::new(config.trace_capacity);
+        let slow_log = SlowLog::new(config.log_format, config.slow_request_ms);
         RoutingService {
             config,
             cache,
@@ -153,6 +172,8 @@ impl RoutingService {
             fleets: RwLock::new(HashMap::new()),
             queue,
             metrics: Metrics::default(),
+            traces,
+            slow_log,
             completions: Mutex::new(Vec::new()),
             waker,
             inflight_cost: AtomicU64::new(0),
@@ -184,12 +205,22 @@ impl RoutingService {
         Ok((device.graph.clone(), device.noise.clone()))
     }
 
-    /// Hands a finished job's response to the reactor for delivery.
-    pub(crate) fn complete(&self, token: u64, response: Response) {
+    /// Hands a finished job's response (plus worker-side phase timings)
+    /// to the reactor for delivery.
+    pub(crate) fn complete(
+        &self,
+        token: u64,
+        response: Response,
+        phases: Vec<(&'static str, u64)>,
+    ) {
         self.completions
             .lock()
             .expect("completion list poisoned")
-            .push((token, response));
+            .push(Completion {
+                token,
+                response,
+                phases,
+            });
         self.waker.wake();
     }
 
@@ -276,7 +307,7 @@ impl ServerHandle {
         if abort {
             for job in self.service.queue.close_now() {
                 let response = unavailable(&self.service, "service is shutting down");
-                self.service.complete(job.token, response);
+                self.service.complete(job.token, response, Vec::new());
             }
         } else {
             self.service.queue.close();
@@ -288,7 +319,7 @@ impl ServerHandle {
         // nothing; fail whatever is left so no client hangs.
         for job in self.service.queue.close_now() {
             let response = unavailable(&self.service, "service is shutting down");
-            self.service.complete(job.token, response);
+            self.service.complete(job.token, response, Vec::new());
         }
         // Every job is now resolved; the reactor exits once the last
         // response is flushed (or the drain deadline reaps stragglers).
@@ -362,6 +393,11 @@ pub(crate) struct AdmitCtx<'a> {
     pub(crate) token: u64,
     /// The reactor-owned token-bucket table.
     pub(crate) limiter: &'a mut RateLimiter,
+    /// The request's trace id, copied onto queued jobs.
+    pub(crate) trace_id: &'a str,
+    /// The request trace's phase log; dispatch appends the phases it
+    /// times (`parse`, `plan_cache`, `rebind`, `admission`).
+    pub(crate) phases: &'a mut Vec<(&'static str, u64)>,
 }
 
 /// Routes one parsed request. Cheap endpoints (health, metrics,
@@ -391,6 +427,7 @@ pub(crate) fn dispatch(
                 ),
             )
         }
+        ("GET", ["debug", "traces"]) => debug_traces(service),
         ("GET", ["devices"]) => list_devices(service),
         ("POST", ["devices"]) => {
             Metrics::add(&m.requests_devices, 1);
@@ -422,10 +459,31 @@ pub(crate) fn dispatch(
             ["healthz" | "metrics" | "route" | "route_sharded" | "transpile_batch" | "devices"
             | "fleets"],
         )
-        | (_, ["devices", _, "noise"]) => Response::error(405, "method not allowed on this path"),
+        | (_, ["devices", _, "noise"])
+        | (_, ["debug", "traces"]) => Response::error(405, "method not allowed on this path"),
         _ => Response::error(404, "no such endpoint"),
     };
     Outcome::Respond(response)
+}
+
+/// `GET /debug/traces`: the retained request traces, newest first. Each
+/// entry is the trace's JSONL form (trace_id, method, target, status,
+/// timestamps, and the per-phase nanosecond breakdown).
+fn debug_traces(service: &RoutingService) -> Response {
+    let traces: JsonValue = service
+        .traces
+        .snapshot()
+        .iter()
+        .map(|trace| JsonValue::parse(&trace.to_json_line()).expect("trace lines are valid JSON"))
+        .collect();
+    Response::json(
+        200,
+        &JsonValue::object([
+            ("capacity", service.traces.capacity().into()),
+            ("count", service.traces.len().into()),
+            ("traces", traces),
+        ]),
+    )
 }
 
 fn healthz(service: &RoutingService) -> Response {
@@ -809,19 +867,30 @@ fn admit_job(
             u64::from(service.config.retry_after_secs),
         ));
     }
+    let parse_span = Span::now();
     let body = match parse_body(request) {
         Ok(body) => body,
         Err(response) => return Outcome::Respond(response),
     };
-    let kind = match parse(service, &body) {
+    let mut kind = match parse(service, &body) {
         Ok(kind) => kind,
         Err(e) => return Outcome::Respond(Response::error(e.status, &e.message)),
     };
+    ctx.phases.push(("parse", parse_span.elapsed_ns()));
+    // The `?profile=true` query flag switches on the hot-loop profiler
+    // for this request, equivalent to `"config": {"profile": true}`.
+    if let JobKind::Route { config, .. } = &mut kind {
+        if request.query_flag("profile") {
+            config.profile = true;
+        }
+    }
     // Routed-plan fast path, checked *before* admission pricing: a
     // `/route` whose structure is already cached needs no search steps,
     // so queueing it behind priced work (or shedding it against the SLO)
     // would be pure waste. Re-binding is microseconds of parameter
     // stamping — cheap enough to answer inline on the reactor thread.
+    // Profiled requests bypass the cache: a rebind runs zero search, so
+    // it has no hot-loop profile to report — they must reach a worker.
     if let JobKind::Route {
         device_id,
         graph,
@@ -831,27 +900,38 @@ fn admit_job(
         include_physical,
     } = &kind
     {
-        if let Some(result) = service
-            .cache
-            .plans()
-            .lookup(circuit, graph, noise.as_ref(), config)
-        {
-            let m = &service.metrics;
-            m.rebind_ns
-                .observe(result.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
-            Metrics::add(&m.plan_cache_inline_hits, 1);
-            Metrics::add(&m.circuits_routed, 1);
-            // Deliberately not record_routing(): a rebind runs zero
-            // search steps, and folding its wall time into the
-            // ns-per-step price would corrupt the admission model.
-            return Outcome::Respond(route_response(
-                device_id,
-                noise.is_some(),
-                config.seed,
-                "hit",
-                &result,
-                *include_physical,
-            ));
+        if !config.profile {
+            let lookup_span = Span::now();
+            let cached = service
+                .cache
+                .plans()
+                .lookup(circuit, graph, noise.as_ref(), config);
+            let lookup_ns = lookup_span.elapsed_ns();
+            if let Some(result) = cached {
+                let m = &service.metrics;
+                let rebind_ns = result.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+                m.rebind_ns.observe(rebind_ns);
+                Metrics::add(&m.plan_cache_inline_hits, 1);
+                Metrics::add(&m.circuits_routed, 1);
+                // The rebind ran *inside* the lookup (`result.elapsed`
+                // timed it); report the two as disjoint slices instead of
+                // counting the rebind twice.
+                ctx.phases
+                    .push(("plan_cache", lookup_ns.saturating_sub(rebind_ns)));
+                ctx.phases.push(("rebind", rebind_ns));
+                // Deliberately not record_routing(): a rebind runs zero
+                // search steps, and folding its wall time into the
+                // ns-per-step price would corrupt the admission model.
+                return Outcome::Respond(route_response(
+                    device_id,
+                    noise.is_some(),
+                    config.seed,
+                    "hit",
+                    &result,
+                    *include_physical,
+                ));
+            }
+            ctx.phases.push(("plan_cache", lookup_ns));
         }
     }
     admit(service, kind, ctx)
@@ -889,6 +969,7 @@ fn route_response(
 /// blow the SLO, `503 + Retry-After` when the queue is full, and queue
 /// the weighted job otherwise.
 fn admit(service: &RoutingService, kind: JobKind, ctx: &mut AdmitCtx<'_>) -> Outcome {
+    let admission_span = Span::now();
     let cost = job_cost(&kind);
     let wait_ms = service.modeled_drain_ns() / 1_000_000;
     // Observed for every priced request, accepted or not, so the
@@ -897,15 +978,25 @@ fn admit(service: &RoutingService, kind: JobKind, ctx: &mut AdmitCtx<'_>) -> Out
     let slo_ms = service.config.admission_slo_ms;
     if slo_ms > 0 && wait_ms > slo_ms {
         Metrics::add(&service.metrics.shed_predicted_slo, 1);
+        ctx.phases.push(("admission", admission_span.elapsed_ns()));
         return Outcome::Respond(api::too_many_requests(
             &format!("predicted queue wait {wait_ms}ms exceeds the admission SLO ({slo_ms}ms)"),
             wait_ms,
             u64::from(service.config.retry_after_secs),
         ));
     }
+    // The admission span closes *before* the queue push: the instant the
+    // job lands, a worker may wake and run it, and if the scheduler
+    // switches to that worker before this thread reads the clock, the
+    // admission phase would absorb the whole route — breaking the
+    // phases-are-disjoint-slices contract the trace ring guarantees.
+    // `admitted` is stamped after the span closes for the same reason:
+    // `queue_wait` starts exactly where `admission` ends.
+    ctx.phases.push(("admission", admission_span.elapsed_ns()));
     let job = Job {
         kind,
         token: ctx.token,
+        trace_id: ctx.trace_id.to_string(),
         admitted: Instant::now(),
     };
     match service.queue.try_push_weighted(job, cost) {
@@ -964,15 +1055,24 @@ pub(crate) fn unavailable(service: &RoutingService, message: &str) -> Response {
 
 fn worker_loop(service: &Arc<RoutingService>) {
     while let Some((job, cost)) = service.queue.pop_weighted() {
-        Metrics::add(
-            &service.metrics.queue_wait_ns_total,
-            job.admitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-        );
+        let queue_wait_ns = job.admitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        Metrics::add(&service.metrics.queue_wait_ns_total, queue_wait_ns);
         // The popped job's steps move from the queued half of the
         // backlog to the in-flight half until it finishes.
         service.inflight_cost.fetch_add(cost, Ordering::Relaxed);
-        let response = catch_unwind(AssertUnwindSafe(|| execute(service, &job.kind)))
-            .unwrap_or_else(|_| Response::error(500, "internal error executing the job"));
+        let mut phases: Vec<(&'static str, u64)> = vec![("queue_wait", queue_wait_ns)];
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            execute(service, &job.kind, &mut phases)
+        }))
+        .unwrap_or_else(|_| {
+            Response::error(
+                500,
+                &format!(
+                    "internal error executing the job (request {})",
+                    job.trace_id
+                ),
+            )
+        });
         service.inflight_cost.fetch_sub(cost, Ordering::Relaxed);
         Metrics::add(
             if response.status() < 400 {
@@ -982,11 +1082,15 @@ fn worker_loop(service: &Arc<RoutingService>) {
             },
             1,
         );
-        service.complete(job.token, response);
+        service.complete(job.token, response, phases);
     }
 }
 
-fn execute(service: &RoutingService, kind: &JobKind) -> Response {
+fn execute(
+    service: &RoutingService,
+    kind: &JobKind,
+    phases: &mut Vec<(&'static str, u64)>,
+) -> Response {
     match kind {
         JobKind::Route {
             device_id,
@@ -996,6 +1100,7 @@ fn execute(service: &RoutingService, kind: &JobKind) -> Response {
             config,
             include_physical,
         } => {
+            let route_span = Span::now();
             let router = match noise {
                 Some(noise) => service.cache.router_with_noise(graph, *config, noise),
                 None => service.cache.router(graph, *config),
@@ -1008,6 +1113,7 @@ fn execute(service: &RoutingService, kind: &JobKind) -> Response {
                 Ok(result) => result,
                 Err(e) => return Response::error(422, &format!("routing failed: {e}")),
             };
+            phases.push(("route", route_span.elapsed_ns()));
             // Cache the routed plan so the next submission of this
             // structure (any parameters) re-binds inline at dispatch.
             service
@@ -1020,14 +1126,26 @@ fn execute(service: &RoutingService, kind: &JobKind) -> Response {
                 result.ns_per_step(),
             );
             Metrics::add(&service.metrics.circuits_routed, 1);
-            route_response(
+            // Profiled routes feed the per-phase histogram family
+            // (`route_phase_ns{phase=...}`).
+            if let Some(profile) = &result.profile {
+                let m = &service.metrics;
+                m.route_phase_front_ns.observe(profile.front_ns);
+                m.route_phase_extended_set_ns
+                    .observe(profile.extended_set_ns);
+                m.route_phase_scoring_ns.observe(profile.scoring_ns);
+            }
+            let serialize_span = Span::now();
+            let response = route_response(
                 device_id,
                 noise.is_some(),
                 config.seed,
                 "miss",
                 &result,
                 *include_physical,
-            )
+            );
+            phases.push(("serialize", serialize_span.elapsed_ns()));
+            response
         }
         JobKind::Sharded {
             members,

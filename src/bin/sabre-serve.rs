@@ -6,7 +6,8 @@
 //!             [--max-connections N] [--rate-limit PER_SEC] [--rate-limit-burst N]
 //!             [--admission-slo-ms MS] [--read-deadline-ms MS]
 //!             [--write-deadline-ms MS] [--idle-timeout-ms MS]
-//!             [--plan-cache-capacity N]
+//!             [--plan-cache-capacity N] [--trace-capacity N]
+//!             [--log-format text|json] [--slow-request-ms MS]
 //! ```
 //!
 //! `--preload` registers the fixed builtin devices (`tokyo20`, `qx5`,
@@ -30,7 +31,9 @@ fn usage() -> ! {
          \x20                  [--max-connections N] [--rate-limit PER_SEC]\n\
          \x20                  [--rate-limit-burst N] [--admission-slo-ms MS]\n\
          \x20                  [--read-deadline-ms MS] [--write-deadline-ms MS]\n\
-         \x20                  [--idle-timeout-ms MS] [--plan-cache-capacity N]"
+         \x20                  [--idle-timeout-ms MS] [--plan-cache-capacity N]\n\
+         \x20                  [--trace-capacity N] [--log-format text|json]\n\
+         \x20                  [--slow-request-ms MS]"
     );
     exit(2);
 }
@@ -83,6 +86,15 @@ fn main() {
             "--plan-cache-capacity" => {
                 config.plan_cache_capacity =
                     parse(&value("--plan-cache-capacity"), "--plan-cache-capacity");
+            }
+            "--trace-capacity" => {
+                config.trace_capacity = parse(&value("--trace-capacity"), "--trace-capacity");
+            }
+            "--log-format" => {
+                config.log_format = parse(&value("--log-format"), "--log-format");
+            }
+            "--slow-request-ms" => {
+                config.slow_request_ms = parse(&value("--slow-request-ms"), "--slow-request-ms");
             }
             "--preload" => preload = true,
             "--help" | "-h" => usage(),

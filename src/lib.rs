@@ -15,4 +15,5 @@ pub use sabre_serve;
 pub use sabre_shard;
 pub use sabre_sim;
 pub use sabre_topology;
+pub use sabre_trace;
 pub use sabre_verify;

@@ -23,12 +23,26 @@ pub fn http(
     path: &str,
     body: Option<&str>,
 ) -> (u16, HashMap<String, String>, String) {
+    http_with_headers(addr, method, path, &[], body)
+}
+
+/// Like [`http`], with extra request headers (e.g. `X-Request-Id`).
+pub fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> (u16, HashMap<String, String>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
         .unwrap();
     let mut request =
         format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n");
+    for (name, value) in extra_headers {
+        request.push_str(&format!("{name}: {value}\r\n"));
+    }
     if let Some(body) = body {
         request.push_str(&format!("Content-Length: {}\r\n", body.len()));
     }

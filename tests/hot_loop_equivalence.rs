@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sabre::reference::reference_route_pass;
 use sabre::router::route_pass;
-use sabre::{HeuristicKind, Layout, SabreConfig};
+use sabre::{HeuristicKind, Layout, SabreConfig, SabreRouter};
 use sabre_benchgen::random;
 use sabre_circuit::Circuit;
 use sabre_topology::noise::NoiseModel;
@@ -219,6 +219,77 @@ fn engines_agree_on_noise_weighted_distances() {
             &config,
             &format!("noise/seed={seed}"),
         );
+    }
+}
+
+#[test]
+fn profiling_is_bit_identical_interleaved_with_reference() {
+    // Interleaved A/B: for each workload, (A) the pass-level engine is
+    // pinned against the reference scorer, then (B) a full profiled
+    // route runs, then (A') an unprofiled route — B and A' must produce
+    // the same routed artifact bit-for-bit, proving the collector
+    // neither perturbs the search nor leaks state between calls.
+    for (name, graph) in test_topologies() {
+        let dist = WeightedDistanceMatrix::hops(&graph);
+        let n = graph.num_qubits().clamp(4, 14);
+        for seed in [0u64, 7, 2019] {
+            let circuit = random::random_circuit(n, 240, 0.75, seed);
+            let config = SabreConfig {
+                seed,
+                ..SabreConfig::fast()
+            };
+            // A: engine vs reference (profiling off at the pass level).
+            assert_engines_agree(
+                &circuit,
+                &graph,
+                &dist,
+                &config,
+                &format!("{name}/profiled-interleave/seed={seed}"),
+            );
+            // B: full profiled route.
+            let on = SabreRouter::new(
+                graph.clone(),
+                SabreConfig {
+                    profile: true,
+                    ..config
+                },
+            )
+            .expect("router (profile on)")
+            .route(&circuit)
+            .expect("profiled route");
+            // A': full unprofiled route, after B ran.
+            let off = SabreRouter::new(graph.clone(), config)
+                .expect("router (profile off)")
+                .route(&circuit)
+                .expect("unprofiled route");
+
+            assert_eq!(
+                off.best, on.best,
+                "profiling changed the routed artifact on {name}/seed={seed}"
+            );
+            assert_eq!(off.best_restart, on.best_restart);
+            assert_eq!(off.traversals, on.traversals);
+            assert_eq!(
+                off.first_traversal_added_gates,
+                on.first_traversal_added_gates
+            );
+            assert!(off.profile.is_none(), "profile off returns no profile");
+            let profile = on.profile.as_ref().expect("profile on returns one");
+            // The collector's counters must agree with the search's own
+            // telemetry: every traversal of every restart was profiled.
+            assert_eq!(
+                profile.traversals as usize,
+                on.traversals.len(),
+                "one profiled entry per traversal"
+            );
+            assert_eq!(
+                profile.per_traversal_steps.len(),
+                on.traversals.len(),
+                "per-traversal step counts cover the whole search"
+            );
+            assert!(profile.search_steps > 0);
+            assert!(profile.hot_loop_ns() > 0, "phase spans recorded time");
+        }
     }
 }
 
