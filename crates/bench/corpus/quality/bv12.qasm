@@ -1,0 +1,37 @@
+// Bernstein-Vazirani, 12 qubits, secret 0b10110101101: every set bit
+// CNOTs into the phase qubit q[11], fanning long-range interactions
+// into one target — a worst case for connectivity-limited devices.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[12];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+h q[5];
+h q[6];
+h q[7];
+h q[8];
+h q[9];
+h q[10];
+x q[11];
+h q[11];
+cx q[0], q[11];
+cx q[2], q[11];
+cx q[3], q[11];
+cx q[5], q[11];
+cx q[6], q[11];
+cx q[8], q[11];
+cx q[10], q[11];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+h q[5];
+h q[6];
+h q[7];
+h q[8];
+h q[9];
+h q[10];

@@ -1,0 +1,21 @@
+// 16-qubit GHZ ladder: a single entangling chain that nearly fills
+// tokyo20 — mostly nearest-neighbor pressure, few but unavoidable swaps.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[16];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+cx q[4], q[5];
+cx q[5], q[6];
+cx q[6], q[7];
+cx q[7], q[8];
+cx q[8], q[9];
+cx q[9], q[10];
+cx q[10], q[11];
+cx q[11], q[12];
+cx q[12], q[13];
+cx q[13], q[14];
+cx q[14], q[15];

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod quality_gate;
+
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 

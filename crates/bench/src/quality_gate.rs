@@ -1,0 +1,171 @@
+//! Swap-count regression gate backing `quality_json --check`.
+//!
+//! The committed baseline (`crates/bench/quality_baseline.json`, schema
+//! [`BASELINE_SCHEMA`]) records the expected SWAP count of every pinned
+//! quality scenario. Routing is deterministic for a fixed seed, so the
+//! counts are machine-stable; the gate still grants a small tolerance
+//! ([`allowed_swaps`]) so deliberate heuristic tweaks that shift a
+//! scenario by a swap or two do not demand a baseline edit, while a real
+//! regression — more than ~10% extra swaps — fails loudly.
+//!
+//! The comparison is bidirectional by design: a measured scenario with no
+//! baseline entry, or a baseline entry that was never measured, is also a
+//! failure. Either means the corpus and the baseline drifted apart, and a
+//! gate that silently skips unknown scenarios is no gate at all.
+
+use sabre_json::JsonValue;
+
+/// Schema tag of the committed baseline file.
+pub const BASELINE_SCHEMA: &str = "sabre-quality-baseline/v1";
+
+/// Maximum acceptable swap count for a scenario whose baseline is
+/// `baseline`: the baseline plus 10% (minimum slack of 2 swaps, so tiny
+/// scenarios are not gated at zero tolerance).
+pub fn allowed_swaps(baseline: usize) -> usize {
+    baseline + (baseline / 10).max(2)
+}
+
+/// Renders measured scenarios as a baseline document ready to commit.
+pub fn render_baseline(measured: &[(String, usize)]) -> JsonValue {
+    JsonValue::object([
+        ("schema", BASELINE_SCHEMA.into()),
+        (
+            "scenarios",
+            measured
+                .iter()
+                .map(|(scenario, swaps)| {
+                    JsonValue::object([
+                        ("scenario", scenario.as_str().into()),
+                        ("num_swaps", (*swaps).into()),
+                    ])
+                })
+                .collect(),
+        ),
+    ])
+}
+
+/// Checks measured `(scenario, num_swaps)` pairs against a parsed
+/// baseline document. Returns the list of failure lines — empty means
+/// the gate passes.
+///
+/// # Errors
+///
+/// Returns `Err` when the baseline document itself is malformed (wrong
+/// schema, missing fields): a broken baseline must fail the gate rather
+/// than silently pass it.
+pub fn check_swaps(
+    baseline: &JsonValue,
+    measured: &[(String, usize)],
+) -> Result<Vec<String>, String> {
+    match baseline.get("schema").and_then(JsonValue::as_str) {
+        Some(BASELINE_SCHEMA) => {}
+        other => return Err(format!("unrecognized baseline schema {other:?}")),
+    }
+    let scenarios = baseline
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "baseline has no `scenarios` array".to_string())?;
+    let mut expected: Vec<(&str, usize)> = Vec::with_capacity(scenarios.len());
+    for entry in scenarios {
+        let scenario = entry
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "baseline entry without a `scenario` string".to_string())?;
+        let swaps = entry
+            .get("num_swaps")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| format!("baseline entry `{scenario}` without `num_swaps`"))?;
+        expected.push((scenario, swaps));
+    }
+
+    let mut failures = Vec::new();
+    for (scenario, swaps) in measured {
+        match expected.iter().find(|(name, _)| name == scenario) {
+            Some(&(_, baseline_swaps)) => {
+                let allowed = allowed_swaps(baseline_swaps);
+                if *swaps > allowed {
+                    failures.push(format!(
+                        "{scenario}: {swaps} swaps exceeds allowance {allowed} \
+                         (baseline {baseline_swaps})"
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "{scenario}: measured but absent from the baseline \
+                 (re-run with --write-baseline and commit the result)"
+            )),
+        }
+    }
+    for (scenario, _) in &expected {
+        if !measured.iter().any(|(name, _)| name == scenario) {
+            failures.push(format!(
+                "{scenario}: present in the baseline but not measured \
+                 (stale baseline entry?)"
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(entries: &[(&str, usize)]) -> JsonValue {
+        render_baseline(
+            &entries
+                .iter()
+                .map(|(name, swaps)| (name.to_string(), *swaps))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn allowance_is_ten_percent_with_a_floor_of_two() {
+        assert_eq!(allowed_swaps(0), 2);
+        assert_eq!(allowed_swaps(5), 7);
+        assert_eq!(allowed_swaps(100), 110);
+        assert_eq!(allowed_swaps(250), 275);
+    }
+
+    #[test]
+    fn matching_measurements_pass() {
+        let doc = baseline(&[("tokyo20/deep", 100), ("grid/deep", 40)]);
+        let measured = vec![
+            ("tokyo20/deep".to_string(), 100),
+            ("grid/deep".to_string(), 44),
+        ];
+        assert_eq!(check_swaps(&doc, &measured).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        // The acceptance scenario: a swap-count regression beyond the
+        // tolerance must produce a failure naming the scenario.
+        let doc = baseline(&[("tokyo20/deep", 100)]);
+        let measured = vec![("tokyo20/deep".to_string(), 111)];
+        let failures = check_swaps(&doc, &measured).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("tokyo20/deep"));
+        assert!(failures[0].contains("111"));
+        assert!(failures[0].contains("110"));
+    }
+
+    #[test]
+    fn drift_between_corpus_and_baseline_fails_both_ways() {
+        let doc = baseline(&[("removed/scenario", 10)]);
+        let measured = vec![("added/scenario".to_string(), 3)];
+        let failures = check_swaps(&doc, &measured).unwrap();
+        assert_eq!(failures.len(), 2);
+        assert!(failures[0].contains("added/scenario"));
+        assert!(failures[1].contains("removed/scenario"));
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors_not_passes() {
+        let wrong_schema = JsonValue::object([("schema", "nope".into())]);
+        assert!(check_swaps(&wrong_schema, &[]).is_err());
+        let no_scenarios = JsonValue::object([("schema", BASELINE_SCHEMA.into())]);
+        assert!(check_swaps(&no_scenarios, &[]).is_err());
+    }
+}

@@ -353,6 +353,40 @@ impl Circuit {
         fp.finish()
     }
 
+    /// Cheap structural *bucketing* digest: folds the register size, the
+    /// gate count, and an evenly-strided sample of at most `max_gates`
+    /// gates (arity, kind, operand wires — angles excluded). Sampling
+    /// bounds the cost at `O(max_gates)` regardless of circuit size, at
+    /// the price of more likely collisions than
+    /// [`Circuit::structural_fingerprint`]: two circuits that differ only
+    /// at unsampled positions digest identically, so callers must treat a
+    /// digest match as a hash bucket, never an identity — re-verify with
+    /// [`Circuit::same_structure`] before trusting it. Built for hot-path
+    /// cache keys (the plan cache keys every lookup on this and verifies
+    /// each hit field-by-field).
+    pub fn structural_digest(&self, max_gates: usize) -> u64 {
+        let mut fp = Fingerprinter::new("sabre/circuit-structure-digest/v1");
+        fp.write_u64(u64::from(self.num_qubits));
+        fp.write_u64(self.gates.len() as u64);
+        let stride = (self.gates.len() / max_gates.max(1)).max(1);
+        for gate in self.gates.iter().step_by(stride) {
+            match *gate {
+                Gate::One { kind, qubit, .. } => {
+                    fp.write_u64(1);
+                    fp.write_u64(kind as u64);
+                    fp.write_u64(u64::from(qubit.0));
+                }
+                Gate::Two { kind, a, b, .. } => {
+                    fp.write_u64(2);
+                    fp.write_u64(kind as u64);
+                    fp.write_u64(u64::from(a.0));
+                    fp.write_u64(u64::from(b.0));
+                }
+            }
+        }
+        fp.finish()
+    }
+
     /// Exact content fingerprint: like
     /// [`Circuit::structural_fingerprint`], plus every rotation angle by
     /// IEEE-754 bit pattern. Two circuits hash identically iff they have

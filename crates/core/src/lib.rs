@@ -68,6 +68,7 @@ mod layout;
 pub mod parallel;
 pub mod plan;
 mod profile;
+pub mod quality;
 pub mod reference;
 mod result;
 pub mod router;
@@ -82,6 +83,7 @@ pub use layout::Layout;
 pub use parallel::{transpile_batch, transpile_batch_cached, BatchOutcome};
 pub use plan::{PlanCache, PlanCacheStats, RoutedPlan};
 pub use profile::RouteProfile;
+pub use quality::PlanQuality;
 pub use result::{RoutedCircuit, SabreResult, TraversalReport};
 pub use sabre::SabreRouter;
 pub use transpile::{transpile, TranspileOptions, TranspileOutput};

@@ -18,7 +18,8 @@
 //!
 //! Plans are keyed by a single fingerprint folding together
 //!
-//! - [`Circuit::structural_fingerprint`] (angles excluded),
+//! - [`Circuit::structural_digest`] (angles excluded; a strided gate
+//!   sample, so keying a deep circuit costs `O(1)` in its length),
 //! - [`CouplingGraph::fingerprint`] and, when present,
 //!   [`NoiseModel::fingerprint`],
 //! - the **objective-defining** [`SabreConfig`] fields.
@@ -107,6 +108,7 @@ use sabre_circuit::{Circuit, DependencyDag, ExecutionFrontier, Gate};
 use sabre_topology::noise::NoiseModel;
 use sabre_topology::CouplingGraph;
 
+use crate::quality::PlanQuality;
 use crate::{RoutedCircuit, SabreConfig, SabreResult, TraversalReport};
 
 /// A routed plan for one circuit structure: everything needed to answer a
@@ -131,6 +133,16 @@ pub struct RoutedPlan {
     /// `bind_map[i]` = position in `result.best.physical` of original
     /// gate `i`. Inserted SWAPs occupy the remaining positions.
     bind_map: Vec<u32>,
+    /// `(original gate index, routed position)` for every structure gate
+    /// that carries parameters — the only gates a rebind must restamp.
+    /// Precomputed at insert so the rebind hot loop skips the
+    /// parameter-free majority (CX ladders) instead of testing each gate.
+    param_slots: Vec<(u32, u32)>,
+    /// Quality report of the routed skeleton, computed once at insert.
+    /// Rebinding only restamps parameters — structure, SWAPs, depth, and
+    /// the fidelity estimate are all invariant — so every hit serves this
+    /// copy with zero recompute.
+    quality: PlanQuality,
 }
 
 impl RoutedPlan {
@@ -146,6 +158,14 @@ impl RoutedPlan {
         result: SabreResult,
     ) -> Option<Self> {
         let bind_map = build_bind_map(&structure, &result.best)?;
+        let quality = PlanQuality::of_routed(&structure, &result.best, noise.as_ref());
+        let param_slots = structure
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, gate)| !gate.params().is_empty())
+            .map(|(idx, _)| (idx as u32, bind_map[idx]))
+            .collect();
         Some(RoutedPlan {
             structure,
             graph,
@@ -153,12 +173,21 @@ impl RoutedPlan {
             config,
             result,
             bind_map,
+            param_slots,
+            quality,
         })
     }
 
     /// The config the plan was routed under (provenance for responses).
     pub fn routed_config(&self) -> &SabreConfig {
         &self.config
+    }
+
+    /// The quality report computed when the plan was first cached.
+    /// Parameters don't change structure, so this is byte-identical to
+    /// recomputing quality on any rebind of the plan.
+    pub fn quality(&self) -> PlanQuality {
+        self.quality
     }
 
     /// Stamps `circuit`'s parameters (and name) into the cached skeleton:
@@ -172,10 +201,9 @@ impl RoutedPlan {
         let start = Instant::now();
         let mut physical = self.result.best.physical.clone();
         physical.set_name(circuit.name());
-        for (idx, gate) in circuit.gates().iter().enumerate() {
-            if !gate.params().is_empty() {
-                physical.replace_params(self.bind_map[idx] as usize, *gate.params());
-            }
+        let gates = circuit.gates();
+        for &(idx, pos) in &self.param_slots {
+            physical.replace_params(pos as usize, *gates[idx as usize].params());
         }
         SabreResult {
             best: RoutedCircuit {
@@ -204,6 +232,7 @@ impl RoutedPlan {
             + self.structure.num_gates() * gate
             + self.result.best.physical.num_gates() * gate
             + self.bind_map.len() * std::mem::size_of::<u32>()
+            + self.param_slots.len() * std::mem::size_of::<(u32, u32)>()
             + layouts
             + self.result.traversals.len() * std::mem::size_of::<TraversalReport>()
             + self.graph.num_edges() * 2 * std::mem::size_of::<u32>()
@@ -293,7 +322,11 @@ fn plan_key(
     config: &SabreConfig,
 ) -> u64 {
     let mut fp = Fingerprinter::new("sabre/plan-cache-key/v1");
-    fp.write_u64(circuit.structural_fingerprint());
+    // A strided sample, not the full structural fingerprint: the key is
+    // only a bucket selector (every hit is re-verified field-by-field),
+    // and hashing all gates of a deep circuit would dominate the rebind
+    // hot path the cache exists to keep cheap.
+    fp.write_u64(circuit.structural_digest(64));
     fp.write_u64(graph.fingerprint());
     match noise {
         Some(model) => {
@@ -394,6 +427,36 @@ impl PlanCache {
         noise: Option<&NoiseModel>,
         config: &SabreConfig,
     ) -> Option<SabreResult> {
+        Some(
+            self.lookup_plan(circuit, graph, noise, config)?
+                .rebind(circuit),
+        )
+    }
+
+    /// [`PlanCache::lookup`] plus the plan's cached [`PlanQuality`] —
+    /// the serving layer's hot-path variant, which must not pay a depth
+    /// recomputation per hit.
+    pub fn lookup_with_quality(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        noise: Option<&NoiseModel>,
+        config: &SabreConfig,
+    ) -> Option<(SabreResult, PlanQuality)> {
+        let plan = self.lookup_plan(circuit, graph, noise, config)?;
+        Some((plan.rebind(circuit), plan.quality()))
+    }
+
+    /// Shared hit path: key, verified match, and counter bookkeeping.
+    /// Kept separate from rebinding so the plain [`PlanCache::lookup`]
+    /// hot path pays nothing for quality plumbing.
+    fn lookup_plan(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        noise: Option<&NoiseModel>,
+        config: &SabreConfig,
+    ) -> Option<Arc<RoutedPlan>> {
         if self.capacity == 0 {
             return None;
         }
@@ -421,7 +484,7 @@ impl PlanCache {
             return None;
         }
         self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(plan.rebind(circuit))
+        Some(plan)
     }
 
     /// Caches the plan behind a finished first route of `circuit`.

@@ -1,0 +1,282 @@
+//! Plan-quality reports — the paper's Table-II metrics as a first-class
+//! value.
+//!
+//! The evaluation of Li, Ding & Xie judges a router by **additional gate
+//! count** and **depth overhead**; Niu et al.'s follow-up work scores the
+//! same plans by **estimated success probability** under per-edge
+//! calibration data. [`PlanQuality`] packages all three for any finished
+//! routing artifact, so the serving layer, the bench harness, and the CI
+//! regression gate all report the same numbers from the same code:
+//!
+//! - inserted SWAP count and the paper's `3 × swaps` added-gate
+//!   accounting,
+//! - input vs output two-qubit gate count (output in the decomposed
+//!   elementary-gate form Table II reports),
+//! - circuit depth overhead, via the existing DAG layering
+//!   ([`Circuit::depth`]),
+//! - estimated **log**-success-probability under the device's
+//!   [`NoiseModel`]: `Σ log(1−err)` over the routed gates (SWAPs count
+//!   as three two-qubit gates, matching
+//!   [`NoiseModel::success_probability`]). Hop-only devices (no noise
+//!   model) report the gate counts and skip the fidelity estimate.
+//!
+//! The report is `Copy`, heap-free, and deterministic: for a fixed seed
+//! the router's output is bit-identical across machines and thread
+//! counts, so every field — including the log-fidelity float — is too.
+//! [`PlanQuality::to_json`] is therefore safe to diff byte-for-byte,
+//! which is exactly what the plan-cache tests and the `quality_json`
+//! regression gate do.
+
+use sabre_circuit::Circuit;
+use sabre_json::JsonValue;
+use sabre_topology::noise::NoiseModel;
+
+use crate::transpile::TranspileOutput;
+use crate::{RoutedCircuit, SabreResult};
+
+/// Quality report of one routed circuit: swap/gate/depth overheads plus
+/// the optional noise-model fidelity estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanQuality {
+    /// SWAP gates the router inserted.
+    pub num_swaps: usize,
+    /// The paper's added-gate accounting: `3 × num_swaps`.
+    pub added_gates: usize,
+    /// Two-qubit gates of the **input** circuit (SWAPs in the input
+    /// count once — they are single gates until decomposition).
+    pub input_two_qubit_gates: usize,
+    /// Two-qubit gates of the **output** in elementary form (each
+    /// remaining SWAP counted as its three CNOTs).
+    pub output_two_qubit_gates: usize,
+    /// Depth of the input circuit (DAG layering on logical wires).
+    pub input_depth: usize,
+    /// Depth of the decomposed output circuit (`d` of Table II).
+    pub output_depth: usize,
+    /// `output_depth − input_depth`, saturating at zero (an optimizer
+    /// pass can legitimately shrink a circuit below its input depth).
+    pub depth_overhead: usize,
+    /// `Σ log(1−err)` over the output gates under the device's noise
+    /// model, or `None` on a hop-only device. Always ≤ 0; `exp` of it is
+    /// the success probability [`NoiseModel::success_probability`]
+    /// reports, kept in the log domain so deep circuits stay finite and
+    /// per-device aggregates can sum.
+    pub log_success_probability: Option<f64>,
+}
+
+impl PlanQuality {
+    /// Quality of a [`RoutedCircuit`] against the logical circuit it was
+    /// routed from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is given and the routed circuit applies a
+    /// two-qubit gate on an uncoupled pair — score only verified
+    /// routings against the device they were routed for.
+    pub fn of_routed(input: &Circuit, routed: &RoutedCircuit, noise: Option<&NoiseModel>) -> Self {
+        PlanQuality::from_parts(input, &routed.decomposed(), routed.num_swaps, noise)
+    }
+
+    /// Quality of a full [`SabreResult`] (its best routing).
+    ///
+    /// # Panics
+    ///
+    /// As [`PlanQuality::of_routed`].
+    pub fn of_result(input: &Circuit, result: &SabreResult, noise: Option<&NoiseModel>) -> Self {
+        PlanQuality::of_routed(input, &result.best, noise)
+    }
+
+    /// Quality of a [`TranspileOutput`] — the batch pipeline's artifact,
+    /// already decomposed and peephole-optimized (so `added_gates` may
+    /// overstate the net growth; the gate counts report the actuals).
+    ///
+    /// # Panics
+    ///
+    /// As [`PlanQuality::of_routed`].
+    pub fn of_transpiled(
+        input: &Circuit,
+        output: &TranspileOutput,
+        noise: Option<&NoiseModel>,
+    ) -> Self {
+        PlanQuality::from_parts(input, &output.circuit, output.swaps_inserted, noise)
+    }
+
+    /// The shared constructor: `output` is the hardware circuit as
+    /// served. Any SWAP gate still explicit in it is priced as its three
+    /// CNOTs, so callers may pass either form.
+    fn from_parts(
+        input: &Circuit,
+        output: &Circuit,
+        num_swaps: usize,
+        noise: Option<&NoiseModel>,
+    ) -> Self {
+        let input_depth = input.depth();
+        let output_depth = if output.num_swaps() > 0 {
+            output.with_swaps_decomposed().depth()
+        } else {
+            output.depth()
+        };
+        PlanQuality {
+            num_swaps,
+            added_gates: 3 * num_swaps,
+            input_two_qubit_gates: input.num_two_qubit_gates(),
+            output_two_qubit_gates: output.num_two_qubit_gates() + 2 * output.num_swaps(),
+            input_depth,
+            output_depth,
+            depth_overhead: output_depth.saturating_sub(input_depth),
+            log_success_probability: noise.map(|model| log_success(output, model)),
+        }
+    }
+
+    /// The report as a deterministic JSON object — the `"quality"`
+    /// payload of every `/route` response. `log_success_probability` is
+    /// `null` on hop-only devices.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("num_swaps", self.num_swaps.into()),
+            ("added_gates", self.added_gates.into()),
+            ("input_two_qubit_gates", self.input_two_qubit_gates.into()),
+            ("output_two_qubit_gates", self.output_two_qubit_gates.into()),
+            ("input_depth", self.input_depth.into()),
+            ("output_depth", self.output_depth.into()),
+            ("depth_overhead", self.depth_overhead.into()),
+            (
+                "log_success_probability",
+                match self.log_success_probability {
+                    Some(lsp) => lsp.into(),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// `Σ log(1−err)` over `circuit`'s gates — the log-domain form of
+/// [`NoiseModel::success_probability`] (same per-gate factors: single-
+/// qubit average for 1q gates, the per-edge rate for 2q gates, tripled
+/// for an explicit SWAP).
+fn log_success(circuit: &Circuit, noise: &NoiseModel) -> f64 {
+    let mut log_fidelity = 0.0f64;
+    for gate in circuit {
+        match gate.qubits() {
+            (_, None) => log_fidelity += (1.0 - noise.single_qubit_error()).ln(),
+            (a, Some(b)) => {
+                let factor = if gate.is_swap() { 3.0 } else { 1.0 };
+                log_fidelity += factor * (1.0 - noise.edge_error(a, b)).ln();
+            }
+        }
+    }
+    log_fidelity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Layout;
+    use sabre_circuit::Qubit;
+    use sabre_topology::devices;
+
+    /// `cx(0,1); swap(1,2); cx(0,1)` on 3 wires: 1 inserted SWAP, the
+    /// fixture [`crate::result`]'s tests also pin (decomposed depth 5).
+    fn fixture() -> (Circuit, RoutedCircuit) {
+        let mut input = Circuit::with_name(3, "t");
+        input.cx(Qubit(0), Qubit(1));
+        input.cx(Qubit(0), Qubit(2));
+        let mut physical = Circuit::with_name(3, "t");
+        physical.cx(Qubit(0), Qubit(1));
+        physical.swap(Qubit(1), Qubit(2));
+        physical.cx(Qubit(0), Qubit(1));
+        let routed = RoutedCircuit {
+            physical,
+            initial_layout: Layout::identity(3),
+            final_layout: {
+                let mut l = Layout::identity(3);
+                l.swap_physical(Qubit(1), Qubit(2));
+                l
+            },
+            num_swaps: 1,
+            search_steps: 1,
+            forced_routings: 0,
+        };
+        (input, routed)
+    }
+
+    #[test]
+    fn counts_and_depths_match_hand_computation() {
+        let (input, routed) = fixture();
+        let q = PlanQuality::of_routed(&input, &routed, None);
+        assert_eq!(q.num_swaps, 1);
+        assert_eq!(q.added_gates, 3);
+        assert_eq!(q.input_two_qubit_gates, 2);
+        assert_eq!(q.output_two_qubit_gates, 5, "2 CX + 3 from the SWAP");
+        assert_eq!(q.input_depth, 2);
+        assert_eq!(q.output_depth, 5);
+        assert_eq!(q.depth_overhead, 3);
+        assert_eq!(q.log_success_probability, None, "hop-only device");
+    }
+
+    #[test]
+    fn log_success_matches_the_noise_model_product() {
+        let (input, routed) = fixture();
+        let device = devices::linear(3);
+        let noise = NoiseModel::uniform(device.graph(), 0.1, 0.01);
+        let q = PlanQuality::of_routed(&input, &routed, Some(&noise));
+        // Five elementary 2q gates at ε = 0.1: log(0.9) each.
+        let expected = 5.0 * (0.9f64).ln();
+        let lsp = q.log_success_probability.expect("noise model given");
+        assert!((lsp - expected).abs() < 1e-12, "{lsp} vs {expected}");
+        // And exp(lsp) agrees with the model's own product form.
+        let direct = noise.success_probability(&routed.physical);
+        assert!((lsp.exp() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_overhead_saturates_when_output_is_shallower() {
+        let mut input = Circuit::new(2);
+        input.cx(Qubit(0), Qubit(1));
+        input.cx(Qubit(0), Qubit(1));
+        input.cx(Qubit(0), Qubit(1));
+        let routed = RoutedCircuit {
+            physical: {
+                let mut c = Circuit::new(2);
+                c.cx(Qubit(0), Qubit(1));
+                c
+            },
+            initial_layout: Layout::identity(2),
+            final_layout: Layout::identity(2),
+            num_swaps: 0,
+            search_steps: 0,
+            forced_routings: 0,
+        };
+        let q = PlanQuality::of_routed(&input, &routed, None);
+        assert_eq!(q.depth_overhead, 0);
+        assert_eq!((q.input_depth, q.output_depth), (3, 1));
+    }
+
+    #[test]
+    fn to_json_is_deterministic_and_round_trips() {
+        let (input, routed) = fixture();
+        let device = devices::linear(3);
+        let noise = NoiseModel::uniform(device.graph(), 0.1, 0.01);
+        let q = PlanQuality::of_routed(&input, &routed, Some(&noise));
+        let json = q.to_json();
+        assert_eq!(json.get("num_swaps").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("depth_overhead").unwrap().as_usize(), Some(3));
+        assert!(json
+            .get("log_success_probability")
+            .unwrap()
+            .as_f64()
+            .is_some());
+        let text = json.to_compact();
+        assert_eq!(JsonValue::parse(&text).unwrap(), json);
+        // Byte-identical across recomputations: the regression gate's
+        // working assumption.
+        let again = PlanQuality::of_routed(&input, &routed, Some(&noise));
+        assert_eq!(again.to_json().to_compact(), text);
+        // Hop-only: the fidelity field is null, not absent.
+        let hop = PlanQuality::of_routed(&input, &routed, None);
+        assert!(matches!(
+            hop.to_json().get("log_success_probability"),
+            Some(JsonValue::Null)
+        ));
+    }
+}

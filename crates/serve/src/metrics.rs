@@ -9,10 +9,13 @@
 //! admission controller needs to translate queue depth into expected
 //! wait.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use sabre::{DeviceCacheStats, PlanCacheStats};
+use sabre::{DeviceCacheStats, PlanCacheStats, PlanQuality};
+use sabre_json::JsonValue;
 
 /// Monotone counters; gauges (queue depth, device count) are read from
 /// their owners at scrape time and passed to [`Metrics::render`].
@@ -86,6 +89,18 @@ pub struct Metrics {
     /// Candidate scoring time (ns) of profiled jobs
     /// (`route_phase_ns{phase="scoring"}`).
     pub route_phase_scoring_ns: Histogram,
+    /// Histogram of SWAPs inserted per routed circuit (batch slots and
+    /// shards count individually).
+    pub route_swaps: Histogram,
+    /// Histogram of depth overhead (output − input layers) per routed
+    /// circuit.
+    pub route_depth_overhead: Histogram,
+    /// Histogram of estimated −1000·log(success probability) per
+    /// noise-aware routed circuit (milli-nats of infidelity; smaller is
+    /// better). Hop-only routes are not observed.
+    pub route_log_success_probability: Histogram,
+    /// Per-device quality scoreboard backing `GET /debug/quality`.
+    pub quality: QualityBoard,
 }
 
 /// Upper bounds (ms) of the `admission_predicted_wait_ms` buckets; an
@@ -120,6 +135,21 @@ pub const REBIND_NS_BUCKETS: [u64; 9] = [
     10_000_000,
     100_000_000,
 ];
+
+/// Upper bounds of the `route_swaps` buckets: a SWAP count per routed
+/// circuit, from the embeddable 0 through corpus-scale thousands.
+pub const ROUTE_SWAPS_BUCKETS: [u64; 10] = [0, 1, 2, 5, 10, 25, 50, 100, 500, 2000];
+
+/// Upper bounds of the `route_depth_overhead` buckets (added DAG
+/// layers after SWAP decomposition).
+pub const DEPTH_OVERHEAD_BUCKETS: [u64; 10] = [0, 2, 5, 10, 25, 50, 100, 250, 1000, 5000];
+
+/// Upper bounds of the `route_log_success_probability` buckets, in
+/// **negated milli-nats**: an observation of `1000` means
+/// `log(p_success) = −1.0`, i.e. p ≈ 0.37. The span covers p ≈ 0.999
+/// down to e⁻¹⁰⁰ (deep circuits on noisy devices).
+pub const NEG_MILLI_LOG_SUCCESS_BUCKETS: [u64; 10] =
+    [1, 10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000];
 
 /// A fixed-bucket Prometheus histogram (cumulative buckets rendered at
 /// scrape time; stored counts are per-bucket). The bucket bounds are a
@@ -206,6 +236,233 @@ impl Histogram {
     }
 }
 
+/// Encodes a log-success-probability for histogram storage: negated
+/// milli-nats, rounded, saturating at zero for `lsp ≥ 0`.
+fn neg_milli_log(lsp: f64) -> u64 {
+    let scaled = (-lsp * 1000.0).round();
+    if scaled.is_nan() || scaled <= 0.0 {
+        0
+    } else if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled as u64
+    }
+}
+
+/// A single-threaded fixed-bucket accumulator: the per-device flavor of
+/// [`Histogram`], kept behind the scoreboard's mutex instead of atomics
+/// because observations and quantile reads are both rare (once per
+/// routed circuit / once per `/debug/quality` scrape).
+#[derive(Debug)]
+struct Acc {
+    bounds: &'static [u64],
+    /// One slot per bound plus the overflow slot.
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+    max: u64,
+}
+
+impl Acc {
+    fn new(bounds: &'static [u64]) -> Self {
+        Acc {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.count += 1;
+        self.max = self.max.max(value);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile: the smallest bucket bound whose
+    /// cumulative count reaches `q·count` (the overflow bucket reports
+    /// the exact max). Resolution is a bucket width — adequate for a
+    /// scoreboard, constant memory per device.
+    fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, &bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[idx];
+            if cumulative >= target {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `{mean, p50, p95, max}` as a JSON object.
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("mean", self.mean().into()),
+            ("p50", self.quantile(0.5).into()),
+            ("p95", self.quantile(0.95).into()),
+            ("max", self.max.into()),
+        ])
+    }
+}
+
+/// Per-device quality aggregates since process start.
+#[derive(Debug)]
+struct DeviceQuality {
+    routes: u64,
+    swaps: Acc,
+    depth_overhead: Acc,
+    /// Negated milli-log success; only noise-aware routes observe.
+    neg_log_success_milli: Acc,
+    log_success_sum: f64,
+}
+
+impl DeviceQuality {
+    fn new() -> Self {
+        DeviceQuality {
+            routes: 0,
+            swaps: Acc::new(&ROUTE_SWAPS_BUCKETS),
+            depth_overhead: Acc::new(&DEPTH_OVERHEAD_BUCKETS),
+            neg_log_success_milli: Acc::new(&NEG_MILLI_LOG_SUCCESS_BUCKETS),
+            log_success_sum: 0.0,
+        }
+    }
+}
+
+/// The `GET /debug/quality` scoreboard: per-device-id quality aggregates
+/// (count, mean/p50/p95 swaps, depth overhead, fidelity) since process
+/// start. A `BTreeMap` so every rendering is sorted by device id.
+#[derive(Debug, Default)]
+pub struct QualityBoard {
+    devices: Mutex<BTreeMap<String, DeviceQuality>>,
+}
+
+impl QualityBoard {
+    fn observe(&self, device: &str, quality: &PlanQuality) {
+        let mut devices = self.devices.lock().expect("quality board lock");
+        let entry = devices
+            .entry(device.to_string())
+            .or_insert_with(DeviceQuality::new);
+        entry.routes += 1;
+        entry.swaps.observe(quality.num_swaps as u64);
+        entry.depth_overhead.observe(quality.depth_overhead as u64);
+        if let Some(lsp) = quality.log_success_probability {
+            entry.neg_log_success_milli.observe(neg_milli_log(lsp));
+            entry.log_success_sum += lsp;
+        }
+    }
+
+    /// The scoreboard as a deterministic JSON object (devices sorted by
+    /// id). Fidelity quantiles are decoded back from the milli-nat
+    /// accumulator, so `p50 ≥ p95` in log space (less negative = better).
+    pub fn to_json(&self) -> JsonValue {
+        let devices = self.devices.lock().expect("quality board lock");
+        JsonValue::object([(
+            "devices",
+            devices
+                .iter()
+                .map(|(id, d)| {
+                    let noise_routes = d.neg_log_success_milli.count;
+                    JsonValue::object([
+                        ("device", id.as_str().into()),
+                        ("count", d.routes.into()),
+                        ("swaps", d.swaps.to_json()),
+                        ("depth_overhead", d.depth_overhead.to_json()),
+                        (
+                            "log_success_probability",
+                            if noise_routes == 0 {
+                                JsonValue::Null
+                            } else {
+                                JsonValue::object([
+                                    ("count", noise_routes.into()),
+                                    ("mean", (d.log_success_sum / noise_routes as f64).into()),
+                                    (
+                                        "p50",
+                                        (-(d.neg_log_success_milli.quantile(0.5) as f64) / 1000.0)
+                                            .into(),
+                                    ),
+                                    (
+                                        "p95",
+                                        (-(d.neg_log_success_milli.quantile(0.95) as f64) / 1000.0)
+                                            .into(),
+                                    ),
+                                    (
+                                        "min",
+                                        (-(d.neg_log_success_milli.max as f64) / 1000.0).into(),
+                                    ),
+                                ])
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        )])
+    }
+
+    /// Renders the per-device Prometheus counter families.
+    fn render(&self, out: &mut String) {
+        let devices = self.devices.lock().expect("quality board lock");
+        let _ = writeln!(
+            out,
+            "# HELP sabre_serve_device_routes_total Circuits routed per device id."
+        );
+        let _ = writeln!(out, "# TYPE sabre_serve_device_routes_total counter");
+        for (id, d) in devices.iter() {
+            let _ = writeln!(
+                out,
+                "sabre_serve_device_routes_total{{device=\"{}\"}} {}",
+                escape_label(id),
+                d.routes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sabre_serve_device_swaps_total SWAPs inserted per device id."
+        );
+        let _ = writeln!(out, "# TYPE sabre_serve_device_swaps_total counter");
+        for (id, d) in devices.iter() {
+            let _ = writeln!(
+                out,
+                "sabre_serve_device_swaps_total{{device=\"{}\"}} {}",
+                escape_label(id),
+                d.swaps.sum
+            );
+        }
+    }
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Default for Metrics {
     fn default() -> Self {
         Metrics {
@@ -238,6 +495,10 @@ impl Default for Metrics {
             route_phase_front_ns: Histogram::new(&ROUTE_PHASE_NS_BUCKETS),
             route_phase_extended_set_ns: Histogram::new(&ROUTE_PHASE_NS_BUCKETS),
             route_phase_scoring_ns: Histogram::new(&ROUTE_PHASE_NS_BUCKETS),
+            route_swaps: Histogram::new(&ROUTE_SWAPS_BUCKETS),
+            route_depth_overhead: Histogram::new(&DEPTH_OVERHEAD_BUCKETS),
+            route_log_success_probability: Histogram::new(&NEG_MILLI_LOG_SUCCESS_BUCKETS),
+            quality: QualityBoard::default(),
         }
     }
 }
@@ -287,6 +548,21 @@ impl Metrics {
             ns_per_step.min(u128::from(u64::MAX)) as u64,
             Ordering::Relaxed,
         );
+    }
+
+    /// Records the quality of one routed circuit: the three fleet-wide
+    /// histograms plus the per-device scoreboard. Runs post-route off
+    /// the hot loop; batch slots and shards are observed individually
+    /// under their own device id.
+    pub fn observe_quality(&self, device: &str, quality: &PlanQuality) {
+        self.route_swaps.observe(quality.num_swaps as u64);
+        self.route_depth_overhead
+            .observe(quality.depth_overhead as u64);
+        if let Some(lsp) = quality.log_success_probability {
+            self.route_log_success_probability
+                .observe(neg_milli_log(lsp));
+        }
+        self.quality.observe(device, quality);
     }
 
     /// Mean ns per search step over the process lifetime — the live
@@ -608,6 +884,23 @@ impl Metrics {
         ] {
             histogram.render_series(&mut out, "route_phase_ns", &format!("phase=\"{phase}\","));
         }
+
+        self.route_swaps.render(
+            &mut out,
+            "route_swaps",
+            "SWAPs inserted per routed circuit.",
+        );
+        self.route_depth_overhead.render(
+            &mut out,
+            "route_depth_overhead",
+            "Depth overhead (added layers) per routed circuit.",
+        );
+        self.route_log_success_probability.render(
+            &mut out,
+            "route_log_success_probability",
+            "Negated milli-log success probability per noise-aware routed circuit (1000 = log p of -1).",
+        );
+        self.quality.render(&mut out);
         out
     }
 }
@@ -724,6 +1017,103 @@ mod tests {
         assert!(text.contains("sabre_serve_admission_predicted_wait_ms_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("sabre_serve_admission_predicted_wait_ms_sum 1000031"));
         assert!(text.contains("sabre_serve_admission_predicted_wait_ms_count 4"));
+    }
+
+    fn quality(swaps: usize, overhead: usize, lsp: Option<f64>) -> PlanQuality {
+        PlanQuality {
+            num_swaps: swaps,
+            added_gates: 3 * swaps,
+            input_two_qubit_gates: 10,
+            output_two_qubit_gates: 10 + 3 * swaps,
+            input_depth: 8,
+            output_depth: 8 + overhead,
+            depth_overhead: overhead,
+            log_success_probability: lsp,
+        }
+    }
+
+    #[test]
+    fn observe_quality_feeds_histograms_board_and_device_counters() {
+        let m = Metrics::default();
+        m.observe_quality("tokyo20", &quality(4, 9, Some(-0.5)));
+        m.observe_quality("tokyo20", &quality(8, 20, Some(-1.5)));
+        m.observe_quality("grid6x6", &quality(0, 0, None));
+        let text = m.render(
+            GaugeSnapshot {
+                queue_depth: 0,
+                queue_capacity: 1,
+                workers: 0,
+                devices: 2,
+                fleets: 0,
+                draining: false,
+                open_connections: 0,
+                max_connections: 1,
+            },
+            DeviceCacheStats::default(),
+            PlanCacheStats::default(),
+        );
+        assert!(text.contains("# TYPE sabre_serve_route_swaps histogram"));
+        assert!(text.contains("sabre_serve_route_swaps_bucket{le=\"5\"} 2"));
+        assert!(text.contains("sabre_serve_route_swaps_count 3"));
+        assert!(text.contains("sabre_serve_route_swaps_sum 12"));
+        assert!(text.contains("sabre_serve_route_depth_overhead_count 3"));
+        // Only the two noise-aware routes observe the fidelity histogram.
+        assert!(text.contains("sabre_serve_route_log_success_probability_count 2"));
+        assert!(text.contains("sabre_serve_route_log_success_probability_bucket{le=\"500\"} 1"));
+        assert!(text.contains("sabre_serve_route_log_success_probability_sum 2000"));
+        // Per-device counter families, sorted by id.
+        assert!(text.contains("sabre_serve_device_routes_total{device=\"grid6x6\"} 1"));
+        assert!(text.contains("sabre_serve_device_routes_total{device=\"tokyo20\"} 2"));
+        assert!(text.contains("sabre_serve_device_swaps_total{device=\"tokyo20\"} 12"));
+        assert!(
+            text.find("device=\"grid6x6\"").unwrap() < text.find("device=\"tokyo20\"").unwrap()
+        );
+    }
+
+    #[test]
+    fn quality_board_json_reports_count_mean_and_quantiles() {
+        let m = Metrics::default();
+        for _ in 0..19 {
+            m.observe_quality("tokyo20", &quality(2, 5, Some(-0.1)));
+        }
+        m.observe_quality("tokyo20", &quality(100, 200, Some(-9.0)));
+        let json = m.quality.to_json();
+        let devices = json.get("devices").unwrap().as_array().unwrap();
+        assert_eq!(devices.len(), 1);
+        let d = &devices[0];
+        assert_eq!(d.get("device").unwrap().as_str(), Some("tokyo20"));
+        assert_eq!(d.get("count").unwrap().as_u64(), Some(20));
+        let swaps = d.get("swaps").unwrap();
+        let mean = swaps.get("mean").unwrap().as_f64().unwrap();
+        assert!((mean - (19.0 * 2.0 + 100.0) / 20.0).abs() < 1e-9);
+        assert_eq!(swaps.get("p50").unwrap().as_u64(), Some(2));
+        // The p95 of 20 observations is the 19th: still the common case.
+        assert_eq!(swaps.get("p95").unwrap().as_u64(), Some(2));
+        assert_eq!(swaps.get("max").unwrap().as_u64(), Some(100));
+        let lsp = d.get("log_success_probability").unwrap();
+        assert_eq!(lsp.get("count").unwrap().as_u64(), Some(20));
+        let p50 = lsp.get("p50").unwrap().as_f64().unwrap();
+        assert!((-0.1..0.0).contains(&p50), "{p50}");
+        let min = lsp.get("min").unwrap().as_f64().unwrap();
+        assert!((min - (-9.0)).abs() < 1e-9);
+        // A hop-only device reports null fidelity.
+        m.observe_quality("line4", &quality(1, 1, None));
+        let json = m.quality.to_json();
+        let devices = json.get("devices").unwrap().as_array().unwrap();
+        assert!(matches!(
+            devices[0].get("log_success_probability"),
+            Some(JsonValue::Null)
+        ));
+    }
+
+    #[test]
+    fn label_escaping_and_milli_log_encoding() {
+        assert_eq!(escape_label("plain-id"), "plain-id");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(neg_milli_log(-1.0), 1000);
+        assert_eq!(neg_milli_log(-0.0004), 0, "rounds to zero");
+        assert_eq!(neg_milli_log(0.0), 0);
+        assert_eq!(neg_milli_log(f64::NEG_INFINITY), u64::MAX);
     }
 
     #[test]

@@ -156,6 +156,10 @@ struct ActiveTrace {
     unix_ms: u64,
     write_started: Instant,
     phases: Vec<(&'static str, u64)>,
+    /// Device id the request routed against (stamped by the handler).
+    device: Option<String>,
+    /// Quality outcome annotations (swaps, depth overhead, cut gates).
+    annotations: Vec<(&'static str, u64)>,
 }
 
 /// One connection's full state.
@@ -502,6 +506,8 @@ impl Reactor {
             token: tok,
             response,
             phases,
+            device,
+            annotations,
         } in completed
         {
             let draining = self.draining();
@@ -516,6 +522,10 @@ impl Reactor {
             let response = match &mut conn.trace {
                 Some(trace) => {
                     trace.phases.extend(phases);
+                    if device.is_some() {
+                        trace.device = device;
+                    }
+                    trace.annotations.extend(annotations);
                     response.with_header("X-Request-Id", trace.id.clone())
                 }
                 None => response,
@@ -675,6 +685,8 @@ impl Reactor {
                             unix_ms: unix_ms_now(),
                             write_started: started,
                             phases: vec![("read", elapsed_ns(started))],
+                            device: None,
+                            annotations: Vec::new(),
                         };
                         (conn.peer, conn.served, trace)
                     };
@@ -688,6 +700,8 @@ impl Reactor {
                             limiter: &mut self.limiter,
                             trace_id: &trace.id,
                             phases: &mut trace.phases,
+                            device: &mut trace.device,
+                            annotations: &mut trace.annotations,
                         },
                     );
                     let draining = self.draining();
@@ -957,6 +971,8 @@ impl Reactor {
             unix_ms: trace.unix_ms,
             total_ns: elapsed_ns(trace.started),
             phases: trace.phases,
+            device: trace.device,
+            annotations: trace.annotations,
         };
         self.service.slow_log.record(&record);
         self.service.traces.push(record);

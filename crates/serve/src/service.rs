@@ -45,7 +45,9 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
-use sabre::{transpile_batch_cached, DeviceCache, SabreConfig, SabreResult, TranspileOptions};
+use sabre::{
+    transpile_batch_cached, DeviceCache, PlanQuality, SabreConfig, SabreResult, TranspileOptions,
+};
 use sabre_circuit::Circuit;
 use sabre_json::JsonValue;
 use sabre_shard::{route_sharded, Fleet, ShardConfig};
@@ -106,6 +108,10 @@ pub(crate) struct Completion {
     pub(crate) token: u64,
     pub(crate) response: Response,
     pub(crate) phases: Vec<(&'static str, u64)>,
+    /// Device id the job routed against, stamped onto the trace.
+    pub(crate) device: Option<String>,
+    /// Quality outcome annotations (swaps, depth overhead, cut gates).
+    pub(crate) annotations: Vec<(&'static str, u64)>,
 }
 
 enum JobKind {
@@ -212,6 +218,8 @@ impl RoutingService {
         token: u64,
         response: Response,
         phases: Vec<(&'static str, u64)>,
+        device: Option<String>,
+        annotations: Vec<(&'static str, u64)>,
     ) {
         self.completions
             .lock()
@@ -220,6 +228,8 @@ impl RoutingService {
                 token,
                 response,
                 phases,
+                device,
+                annotations,
             });
         self.waker.wake();
     }
@@ -307,7 +317,8 @@ impl ServerHandle {
         if abort {
             for job in self.service.queue.close_now() {
                 let response = unavailable(&self.service, "service is shutting down");
-                self.service.complete(job.token, response, Vec::new());
+                self.service
+                    .complete(job.token, response, Vec::new(), None, Vec::new());
             }
         } else {
             self.service.queue.close();
@@ -319,7 +330,8 @@ impl ServerHandle {
         // nothing; fail whatever is left so no client hangs.
         for job in self.service.queue.close_now() {
             let response = unavailable(&self.service, "service is shutting down");
-            self.service.complete(job.token, response, Vec::new());
+            self.service
+                .complete(job.token, response, Vec::new(), None, Vec::new());
         }
         // Every job is now resolved; the reactor exits once the last
         // response is flushed (or the drain deadline reaps stragglers).
@@ -398,6 +410,11 @@ pub(crate) struct AdmitCtx<'a> {
     /// The request trace's phase log; dispatch appends the phases it
     /// times (`parse`, `plan_cache`, `rebind`, `admission`).
     pub(crate) phases: &'a mut Vec<(&'static str, u64)>,
+    /// The request trace's device stamp; the inline plan-cache hit path
+    /// fills it (worker jobs report theirs via [`Completion`]).
+    pub(crate) device: &'a mut Option<String>,
+    /// The request trace's quality annotations (same split as `device`).
+    pub(crate) annotations: &'a mut Vec<(&'static str, u64)>,
 }
 
 /// Routes one parsed request. Cheap endpoints (health, metrics,
@@ -427,7 +444,8 @@ pub(crate) fn dispatch(
                 ),
             )
         }
-        ("GET", ["debug", "traces"]) => debug_traces(service),
+        ("GET", ["debug", "traces"]) => debug_traces(service, request),
+        ("GET", ["debug", "quality"]) => Response::json(200, &service.metrics.quality.to_json()),
         ("GET", ["devices"]) => list_devices(service),
         ("POST", ["devices"]) => {
             Metrics::add(&m.requests_devices, 1);
@@ -460,7 +478,9 @@ pub(crate) fn dispatch(
             | "fleets"],
         )
         | (_, ["devices", _, "noise"])
-        | (_, ["debug", "traces"]) => Response::error(405, "method not allowed on this path"),
+        | (_, ["debug", "traces" | "quality"]) => {
+            Response::error(405, "method not allowed on this path")
+        }
         _ => Response::error(404, "no such endpoint"),
     };
     Outcome::Respond(response)
@@ -468,12 +488,27 @@ pub(crate) fn dispatch(
 
 /// `GET /debug/traces`: the retained request traces, newest first. Each
 /// entry is the trace's JSONL form (trace_id, method, target, status,
-/// timestamps, and the per-phase nanosecond breakdown).
-fn debug_traces(service: &RoutingService) -> Response {
+/// timestamps, and the per-phase nanosecond breakdown). An optional
+/// `?limit=N` (N ≥ 1) returns only the N newest traces; the `count`
+/// field still reports the full ring occupancy.
+fn debug_traces(service: &RoutingService, request: &Request) -> Response {
+    let limit = match request.query_param("limit") {
+        None => usize::MAX,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Response::error(
+                    400,
+                    "\"limit\" must be a positive integer number of traces",
+                )
+            }
+        },
+    };
     let traces: JsonValue = service
         .traces
         .snapshot()
         .iter()
+        .take(limit)
         .map(|trace| JsonValue::parse(&trace.to_json_line()).expect("trace lines are valid JSON"))
         .collect();
     Response::json(
@@ -902,17 +937,25 @@ fn admit_job(
     {
         if !config.profile {
             let lookup_span = Span::now();
-            let cached = service
-                .cache
-                .plans()
-                .lookup(circuit, graph, noise.as_ref(), config);
+            let cached =
+                service
+                    .cache
+                    .plans()
+                    .lookup_with_quality(circuit, graph, noise.as_ref(), config);
             let lookup_ns = lookup_span.elapsed_ns();
-            if let Some(result) = cached {
+            if let Some((result, quality)) = cached {
                 let m = &service.metrics;
                 let rebind_ns = result.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
                 m.rebind_ns.observe(rebind_ns);
                 Metrics::add(&m.plan_cache_inline_hits, 1);
                 Metrics::add(&m.circuits_routed, 1);
+                // The quality rides the cached plan (computed once at the
+                // original miss) — zero recompute on this inline path.
+                m.observe_quality(device_id, &quality);
+                *ctx.device = Some(device_id.clone());
+                ctx.annotations.push(("swaps", quality.num_swaps as u64));
+                ctx.annotations
+                    .push(("depth_overhead", quality.depth_overhead as u64));
                 // The rebind ran *inside* the lookup (`result.elapsed`
                 // timed it); report the two as disjoint slices instead of
                 // counting the rebind twice.
@@ -928,6 +971,7 @@ fn admit_job(
                     config.seed,
                     "hit",
                     &result,
+                    &quality,
                     *include_physical,
                 ));
             }
@@ -946,6 +990,7 @@ fn route_response(
     seed: u64,
     plan_cache: &str,
     result: &SabreResult,
+    quality: &PlanQuality,
     include_physical: bool,
 ) -> Response {
     let mut fields = vec![
@@ -953,6 +998,7 @@ fn route_response(
         ("noise_aware", noise_aware.into()),
         ("seed", seed.into()),
         ("plan_cache", plan_cache.into()),
+        ("quality", quality.to_json()),
         ("result", result.to_json()),
     ];
     if include_physical {
@@ -1061,8 +1107,16 @@ fn worker_loop(service: &Arc<RoutingService>) {
         // backlog to the in-flight half until it finishes.
         service.inflight_cost.fetch_add(cost, Ordering::Relaxed);
         let mut phases: Vec<(&'static str, u64)> = vec![("queue_wait", queue_wait_ns)];
+        let mut device: Option<String> = None;
+        let mut annotations: Vec<(&'static str, u64)> = Vec::new();
         let response = catch_unwind(AssertUnwindSafe(|| {
-            execute(service, &job.kind, &mut phases)
+            execute(
+                service,
+                &job.kind,
+                &mut phases,
+                &mut device,
+                &mut annotations,
+            )
         }))
         .unwrap_or_else(|_| {
             Response::error(
@@ -1082,7 +1136,7 @@ fn worker_loop(service: &Arc<RoutingService>) {
             },
             1,
         );
-        service.complete(job.token, response, phases);
+        service.complete(job.token, response, phases, device, annotations);
     }
 }
 
@@ -1090,6 +1144,8 @@ fn execute(
     service: &RoutingService,
     kind: &JobKind,
     phases: &mut Vec<(&'static str, u64)>,
+    device: &mut Option<String>,
+    annotations: &mut Vec<(&'static str, u64)>,
 ) -> Response {
     match kind {
         JobKind::Route {
@@ -1135,6 +1191,13 @@ fn execute(
                     .observe(profile.extended_set_ns);
                 m.route_phase_scoring_ns.observe(profile.scoring_ns);
             }
+            // Quality runs post-route, off the hot loop: one decomposed-
+            // depth pass plus a log-fidelity sum over the output gates.
+            let quality = PlanQuality::of_result(circuit, &result, noise.as_ref());
+            service.metrics.observe_quality(device_id, &quality);
+            *device = Some(device_id.clone());
+            annotations.push(("swaps", quality.num_swaps as u64));
+            annotations.push(("depth_overhead", quality.depth_overhead as u64));
             let serialize_span = Span::now();
             let response = route_response(
                 device_id,
@@ -1142,6 +1205,7 @@ fn execute(
                 config.seed,
                 "miss",
                 &result,
+                &quality,
                 *include_physical,
             );
             phases.push(("serialize", serialize_span.elapsed_ns()));
@@ -1181,6 +1245,16 @@ fn execute(
                 );
             }
             Metrics::add(&service.metrics.circuits_routed, 1);
+            // Each shard scores against its own member's noise model and
+            // lands on the scoreboard under that member's id.
+            let quality = plan.quality(circuit, &fleet);
+            for shard in &quality.shards {
+                service
+                    .metrics
+                    .observe_quality(&shard.member, &shard.quality);
+            }
+            annotations.push(("swaps", quality.total_swaps as u64));
+            annotations.push(("cut_gates", quality.cut_gates as u64));
             let mut fields = vec![
                 (
                     "fleet",
@@ -1193,6 +1267,7 @@ fn execute(
                 ("noise_aware", noise_aware.into()),
                 ("seed", config.sabre.seed.into()),
                 ("verified", true.into()),
+                ("quality", quality.to_json()),
                 ("plan", plan.to_json()),
             ];
             if *include_physical {
@@ -1218,11 +1293,21 @@ fn execute(
             let outcomes = transpile_batch_cached(circuits, graph, options, &service.cache);
             let succeeded = outcomes.iter().filter(|o| o.is_transpiled()).count();
             Metrics::add(&service.metrics.circuits_routed, succeeded as u64);
-            let slots: JsonValue = outcomes
+            *device = Some(device_id.clone());
+            let mut total_swaps = 0u64;
+            let slots: JsonValue = circuits
                 .iter()
-                .map(|outcome| match outcome.as_result() {
+                .zip(outcomes.iter())
+                .map(|(input, outcome)| match outcome.as_result() {
                     Ok(output) => {
-                        let mut fields = vec![("ok", output.to_json())];
+                        // Per-slot quality: each circuit of the batch is
+                        // scored and observed individually.
+                        let quality =
+                            PlanQuality::of_transpiled(input, output, options.noise.as_ref());
+                        service.metrics.observe_quality(device_id, &quality);
+                        total_swaps += quality.num_swaps as u64;
+                        let mut fields =
+                            vec![("ok", output.to_json()), ("quality", quality.to_json())];
                         if *include_physical {
                             fields.push((
                                 "physical_qasm",
@@ -1234,6 +1319,7 @@ fn execute(
                     Err(error) => JsonValue::object([("error", error.to_string().into())]),
                 })
                 .collect();
+            annotations.push(("swaps", total_swaps));
             // Partial success is a 200: the response reports per-slot
             // outcomes, which is the point of `BatchOutcome`.
             Response::json(

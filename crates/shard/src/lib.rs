@@ -62,7 +62,7 @@ mod plan;
 
 pub use fleet::{Fleet, FleetMember};
 pub use partition::{partition, partition_cost, shard_qubits, Partition, ShardSpec};
-pub use plan::{CutGate, ShardRoute, ShardedPlan};
+pub use plan::{CutGate, ShardQuality, ShardRoute, ShardedPlan, ShardedQuality};
 
 use std::error::Error;
 use std::fmt;

@@ -4,8 +4,8 @@
 use std::fmt;
 use std::time::Duration;
 
-use sabre::SabreResult;
-use sabre_circuit::{Gate, Qubit};
+use sabre::{PlanQuality, SabreResult};
+use sabre_circuit::{Circuit, Gate, Qubit};
 use sabre_json::JsonValue;
 use sabre_verify::{verify_sharded, CutView, ShardView, ShardedReport, VerifyError};
 
@@ -134,6 +134,73 @@ impl ShardedPlan {
         verify_sharded(original, &views, &cuts)
     }
 
+    /// Quality report of the whole plan: one [`PlanQuality`] per shard
+    /// (computed against the shard's local sub-circuit, under its own
+    /// member's noise model) plus the cut accounting.
+    ///
+    /// `original` and `fleet` must be the circuit and fleet the plan was
+    /// routed from — the same contract as [`ShardedPlan::verify`]. The
+    /// fleet-wide `log_success_probability` is the sum over shards, and
+    /// is reported only when **every** member carries a noise model
+    /// (cut realizations are interconnect-specific and not priced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` does not contain the plan's member indices or a
+    /// shard hosts a qubit outside `original`'s register.
+    pub fn quality(&self, original: &Circuit, fleet: &Fleet) -> ShardedQuality {
+        // Global qubit → (shard index, local wire).
+        let mut host: Vec<Option<(usize, u32)>> = vec![None; original.num_qubits() as usize];
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (wire, q) in shard.logical_qubits.iter().enumerate() {
+                host[q.0 as usize] = Some((s, wire as u32));
+            }
+        }
+        let locate = |q: Qubit| host[q.0 as usize].expect("qubit hosted by some shard");
+        // Rebuild each shard's local input stream: every gate whose
+        // operands live on one shard, remapped to local wires; cross-
+        // shard gates are the cuts and belong to no shard.
+        let mut locals: Vec<Circuit> = self
+            .shards
+            .iter()
+            .map(|s| Circuit::new(s.logical_qubits.len() as u32))
+            .collect();
+        for gate in original {
+            let (a, b) = gate.qubits();
+            let (sa, _) = locate(a);
+            if let Some(b) = b {
+                if locate(b).0 != sa {
+                    continue;
+                }
+            }
+            locals[sa].push(gate.map_qubits(|q| Qubit(locate(q).1)));
+        }
+        let shards: Vec<ShardQuality> = self
+            .shards
+            .iter()
+            .zip(&locals)
+            .map(|(shard, local)| ShardQuality {
+                member: shard.member.clone(),
+                quality: PlanQuality::of_result(
+                    local,
+                    &shard.result,
+                    fleet.members()[shard.fleet_index].noise(),
+                ),
+            })
+            .collect();
+        let log_success_probability = shards
+            .iter()
+            .map(|s| s.quality.log_success_probability)
+            .sum::<Option<f64>>();
+        ShardedQuality {
+            shards,
+            cut_gates: self.cuts.len(),
+            total_swaps: self.total_swaps(),
+            total_added_gates: self.total_added_gates(),
+            log_success_probability,
+        }
+    }
+
     /// The plan as a JSON object — the payload `POST /route_sharded`
     /// returns. **Deterministic** for a fixed seed: wall-clock telemetry
     /// (`elapsed`) is deliberately excluded so the same routing problem
@@ -169,6 +236,64 @@ impl ShardedPlan {
                     .collect(),
             ),
             ("cuts", self.cuts.iter().map(cut_to_json).collect()),
+        ])
+    }
+}
+
+/// Quality of one shard of a [`ShardedQuality`] report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardQuality {
+    /// Fleet member id hosting the shard.
+    pub member: String,
+    /// Quality of the shard's routing against its local sub-circuit.
+    pub quality: PlanQuality,
+}
+
+/// Quality report of a whole [`ShardedPlan`]: per-shard routing quality
+/// plus the cut schedule's size — see [`ShardedPlan::quality`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedQuality {
+    /// Per-shard quality, in the plan's shard order.
+    pub shards: Vec<ShardQuality>,
+    /// Cross-shard gates (the cut schedule's length).
+    pub cut_gates: usize,
+    /// SWAPs inserted across all shards.
+    pub total_swaps: usize,
+    /// `3 × total_swaps`, the paper's accounting.
+    pub total_added_gates: usize,
+    /// Sum of per-shard log-success estimates; `None` unless every
+    /// member has a noise model. Excludes whatever realizing the cuts
+    /// costs on the actual interconnect.
+    pub log_success_probability: Option<f64>,
+}
+
+impl ShardedQuality {
+    /// The report as a deterministic JSON object — the `"quality"`
+    /// payload of `/route_sharded` responses.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("cut_gates", self.cut_gates.into()),
+            ("total_swaps", self.total_swaps.into()),
+            ("total_added_gates", self.total_added_gates.into()),
+            (
+                "log_success_probability",
+                match self.log_success_probability {
+                    Some(lsp) => lsp.into(),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "shards",
+                self.shards
+                    .iter()
+                    .map(|shard| {
+                        JsonValue::object([
+                            ("member", shard.member.as_str().into()),
+                            ("quality", shard.quality.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
         ])
     }
 }

@@ -191,6 +191,14 @@ pub struct RequestTrace {
     /// Ordered `(phase, nanoseconds)` pairs. Phases are disjoint slices
     /// of `total_ns`; instantaneous events may appear with a 0 duration.
     pub phases: Vec<(&'static str, u64)>,
+    /// Device id the request routed against, when it reached a routing
+    /// handler (`None` for non-routing endpoints and early rejections).
+    pub device: Option<String>,
+    /// Ordered `(name, value)` outcome annotations — quality counters
+    /// such as inserted SWAPs or depth overhead, distinct from the
+    /// duration-valued [`RequestTrace::phases`]. Names are `'static` so
+    /// annotating never allocates for the name.
+    pub annotations: Vec<(&'static str, u64)>,
 }
 
 impl RequestTrace {
@@ -200,6 +208,14 @@ impl RequestTrace {
             .iter()
             .find(|(phase, _)| *phase == name)
             .map(|&(_, ns)| ns)
+    }
+
+    /// The value recorded for outcome annotation `name`, if present.
+    pub fn annotation(&self, name: &str) -> Option<u64> {
+        self.annotations
+            .iter()
+            .find(|(key, _)| *key == name)
+            .map(|&(_, value)| value)
     }
 
     /// Sum of all recorded phase durations.
@@ -221,6 +237,15 @@ impl RequestTrace {
             ",\"status\":{},\"unix_ms\":{},\"total_ns\":{}",
             self.status, self.unix_ms, self.total_ns
         );
+        if let Some(device) = &self.device {
+            out.push_str(",\"device\":");
+            push_json_string(&mut out, device);
+        }
+        for (name, value) in &self.annotations {
+            out.push(',');
+            push_json_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
         out.push_str(",\"phases\":{");
         for (i, (phase, ns)) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -243,6 +268,12 @@ impl RequestTrace {
             self.status,
             self.total_ns as f64 / 1e6
         );
+        if let Some(device) = &self.device {
+            let _ = write!(out, " device={device}");
+        }
+        for (name, value) in &self.annotations {
+            let _ = write!(out, " {name}={value}");
+        }
         for (phase, ns) in &self.phases {
             let _ = write!(out, " {}_ms={:.3}", phase, *ns as f64 / 1e6);
         }
@@ -441,6 +472,8 @@ mod tests {
                 ("route", 3_500_000),
                 ("write", 500_000),
             ],
+            device: None,
+            annotations: Vec::new(),
         }
     }
 
@@ -531,6 +564,27 @@ mod tests {
         let text = SlowLog::new(LogFormat::Text, 1).render(&trace);
         assert!(text.starts_with("slow_request trace_id=abc123 method=POST"));
         assert!(text.contains("route_ms=3.500"));
+    }
+
+    #[test]
+    fn device_and_annotations_render_in_both_formats() {
+        let mut trace = sample_trace();
+        trace.device = Some("tokyo20".to_string());
+        trace.annotations = vec![("swaps", 7), ("depth_overhead", 12)];
+        let json = trace.to_json_line();
+        assert!(json.contains("\"device\":\"tokyo20\""));
+        assert!(json.contains(",\"swaps\":7,\"depth_overhead\":12,\"phases\":{"));
+        assert_eq!(trace.annotation("swaps"), Some(7));
+        assert_eq!(trace.annotation("fidelity"), None);
+        let text = trace.to_text_line();
+        assert!(text.contains(" device=tokyo20 swaps=7 depth_overhead=12 "));
+        // A slow-request line carries the quality outcome too.
+        let line = SlowLog::new(LogFormat::Text, 1).render(&trace);
+        assert!(line.contains("device=tokyo20") && line.contains("swaps=7"));
+        // Absent fields render nothing (no "device=" stub).
+        let bare = sample_trace();
+        assert!(!bare.to_json_line().contains("device"));
+        assert!(!bare.to_text_line().contains("device"));
     }
 
     #[test]

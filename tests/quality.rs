@@ -1,0 +1,380 @@
+//! End-to-end suite for the plan-quality telemetry layer: the
+//! [`sabre::PlanQuality`] report, sharded cut accounting, the serving
+//! layer's `"quality"` response object and `/debug/quality` scoreboard,
+//! and the `?limit` validation on `/debug/traces`.
+//!
+//! Pins this PR's acceptance criteria:
+//! - quality math matches a hand-computed fixture exactly (swaps, gate
+//!   counts, depth overhead, log-success-probability under a known
+//!   uniform noise model);
+//! - sharded quality accounts for every original gate: per-shard local
+//!   circuits plus cross-shard cuts conserve the 2q-gate count, and the
+//!   swap totals agree with the plan;
+//! - a plan-cache hit returns **byte-identical** quality to the original
+//!   miss — the cached skeleton's report, not a recomputation;
+//! - `/debug/quality` aggregates per device and `/metrics` exposes the
+//!   swap/depth/fidelity histograms;
+//! - `quality(route(c))` agrees with the router's own counters across
+//!   seeds (proptest), including `swaps == total_search_steps` for a
+//!   single-traversal search.
+
+use std::net::SocketAddr;
+
+mod common;
+use common::{get_json, http, post_json};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sabre::router::route_pass;
+use sabre::{Layout, PlanQuality, SabreConfig, SabreRouter};
+use sabre_benchgen::random;
+use sabre_circuit::{Circuit, Qubit};
+use sabre_json::JsonValue;
+use sabre_qasm::to_qasm;
+use sabre_serve::{start, ServeConfig, ServerHandle};
+use sabre_shard::{route_sharded, Fleet, ShardConfig};
+use sabre_topology::noise::NoiseModel;
+use sabre_topology::{devices, WeightedDistanceMatrix};
+
+fn server(config: ServeConfig) -> ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("start loopback server")
+}
+
+fn register(addr: SocketAddr, id: &str, builtin: &str) {
+    let (status, _) = post_json(
+        addr,
+        "/devices",
+        &JsonValue::object([("id", id.into()), ("builtin", builtin.into())]),
+    );
+    assert_eq!(status, 201, "registering {builtin}");
+}
+
+fn route_body(device: &str, circuit: &Circuit, seed: u64) -> JsonValue {
+    JsonValue::object([
+        ("device", device.into()),
+        (
+            "circuit",
+            JsonValue::object([("qasm", to_qasm(circuit).into())]),
+        ),
+        (
+            "config",
+            JsonValue::object([("seed", seed.into()), ("trials", 1u64.into())]),
+        ),
+    ])
+}
+
+#[test]
+fn quality_math_matches_hand_computation() {
+    // cx(0,2) on a 3-qubit line from the **identity** layout (a single
+    // forward `route_pass`, so the initial-mapping search cannot dodge
+    // the swap): exactly one SWAP brings the operands adjacent, and every
+    // field is computable by hand.
+    let graph = devices::linear(3).graph().clone();
+    let mut circuit = Circuit::new(3);
+    circuit.cx(Qubit(0), Qubit(2));
+    let config = SabreConfig::fast();
+    let dist = WeightedDistanceMatrix::auto(&graph, |_, _| 1.0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let routed = route_pass(
+        &circuit,
+        &graph,
+        &dist,
+        Layout::identity(3),
+        &config,
+        &mut rng,
+    );
+    assert_eq!(routed.num_swaps, 1, "one swap suffices on a line");
+
+    // Two-qubit error 0.1, no single-qubit error: the decomposed output
+    // is 1 CX + 3 CX (the swap), so log p = 4·ln(0.9).
+    let noise = NoiseModel::uniform(&graph, 0.1, 0.0);
+    let quality = PlanQuality::of_routed(&circuit, &routed, Some(&noise));
+    assert_eq!(quality.num_swaps, 1);
+    assert_eq!(quality.added_gates, 3);
+    assert_eq!(quality.input_two_qubit_gates, 1);
+    assert_eq!(quality.output_two_qubit_gates, 4);
+    assert_eq!(quality.input_depth, 1);
+    assert_eq!(quality.output_depth, 4);
+    assert_eq!(quality.depth_overhead, 3);
+    let expected = 4.0 * (0.9f64).ln();
+    let lsp = quality.log_success_probability.expect("noise model given");
+    assert!((lsp - expected).abs() < 1e-12, "{lsp} vs {expected}");
+
+    // Hop-only scoring (no noise model) skips fidelity but keeps counts.
+    let hops = PlanQuality::of_routed(&circuit, &routed, None);
+    assert_eq!(hops.num_swaps, 1);
+    assert!(hops.log_success_probability.is_none());
+    assert!(hops
+        .to_json()
+        .to_compact()
+        .contains("\"log_success_probability\":null"));
+}
+
+#[test]
+fn sharded_quality_conserves_gates_and_swap_totals() {
+    let mut fleet = Fleet::new();
+    fleet
+        .register("tokyo-a", devices::ibm_q20_tokyo().graph().clone())
+        .unwrap();
+    fleet
+        .register("tokyo-b", devices::ibm_q20_tokyo().graph().clone())
+        .unwrap();
+    // Wider than either chip, so the partitioner must split and cut.
+    let circuit = random::random_circuit(30, 400, 0.9, 0xf1ee7);
+    let config = ShardConfig {
+        sabre: SabreConfig::fast(),
+        ..ShardConfig::default()
+    };
+    let cache = sabre::DeviceCache::new();
+    let plan = route_sharded(&circuit, &fleet, &config, &cache).expect("sharded routing");
+    let quality = plan.quality(&circuit, &fleet);
+
+    assert_eq!(quality.cut_gates, plan.cuts.len());
+    assert_eq!(quality.total_swaps, plan.total_swaps());
+    assert_eq!(
+        quality.total_swaps,
+        quality
+            .shards
+            .iter()
+            .map(|s| s.quality.num_swaps)
+            .sum::<usize>()
+    );
+    assert_eq!(
+        quality.total_added_gates,
+        quality
+            .shards
+            .iter()
+            .map(|s| s.quality.added_gates)
+            .sum::<usize>()
+    );
+    assert_eq!(quality.shards.len(), plan.shards.len());
+    // Conservation: every original 2q gate is either local to a shard or
+    // a cut — nothing vanishes, nothing is double-counted.
+    assert_eq!(
+        quality
+            .shards
+            .iter()
+            .map(|s| s.quality.input_two_qubit_gates)
+            .sum::<usize>()
+            + quality.cut_gates,
+        circuit.num_two_qubit_gates()
+    );
+    // No member has calibration data, so fleet-level fidelity is absent.
+    assert!(quality.log_success_probability.is_none());
+    // The JSON report is deterministic.
+    assert_eq!(
+        quality.to_json().to_compact(),
+        plan.quality(&circuit, &fleet).to_json().to_compact()
+    );
+}
+
+#[test]
+fn serve_reports_quality_end_to_end_and_hits_reuse_it_byte_identically() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "tokyo", "tokyo20");
+    // Calibration makes the fidelity leg of the report light up.
+    let noise_spec = JsonValue::object([
+        ("two_qubit_error", 0.01.into()),
+        ("single_qubit_error", 0.001.into()),
+    ]);
+    let (status, _) = post_json(addr, "/devices/tokyo/noise", &noise_spec);
+    assert_eq!(status, 200);
+
+    let mut circuit = Circuit::new(8);
+    for r in 0..20u32 {
+        circuit.cx(Qubit((r * 3 + 1) % 8), Qubit((r * 5 + 2) % 8));
+        circuit.rz(Qubit(r % 8), 0.25 + f64::from(r));
+    }
+    let body = route_body("tokyo", &circuit, 7);
+
+    let (status, miss) = post_json(addr, "/route", &body);
+    assert_eq!(status, 200);
+    assert_eq!(miss.get("plan_cache").unwrap().as_str(), Some("miss"));
+    let miss_quality = miss.get("quality").expect("route response carries quality");
+    let swaps = miss_quality.get("num_swaps").unwrap().as_u64().unwrap();
+    assert_eq!(
+        miss_quality.get("added_gates").unwrap().as_u64().unwrap(),
+        3 * swaps
+    );
+    assert!(miss_quality
+        .get("depth_overhead")
+        .unwrap()
+        .as_u64()
+        .is_some());
+    let lsp = miss_quality
+        .get("log_success_probability")
+        .unwrap()
+        .as_f64()
+        .expect("calibrated device reports fidelity");
+    assert!(lsp < 0.0, "log-probability of a noisy circuit is negative");
+
+    // Same structure again: an inline plan-cache hit serving the cached
+    // skeleton's quality — byte-identical to the miss, zero recompute.
+    let (status, hit) = post_json(addr, "/route", &body);
+    assert_eq!(status, 200);
+    assert_eq!(hit.get("plan_cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        hit.get("quality").unwrap().to_compact(),
+        miss_quality.to_compact(),
+        "a hit must reuse the cached quality report"
+    );
+
+    // The scoreboard aggregated both requests under the device id.
+    let (status, board) = get_json(addr, "/debug/quality");
+    assert_eq!(status, 200);
+    let devices_list = board.get("devices").and_then(JsonValue::as_array).unwrap();
+    let tokyo = devices_list
+        .iter()
+        .find(|d| d.get("device").and_then(JsonValue::as_str) == Some("tokyo"))
+        .expect("tokyo on the scoreboard");
+    assert_eq!(tokyo.get("count").unwrap().as_u64(), Some(2));
+    for section in ["swaps", "depth_overhead"] {
+        let stats = tokyo.get(section).unwrap();
+        for field in ["mean", "p50", "p95", "max"] {
+            assert!(
+                stats.get(field).and_then(JsonValue::as_f64).is_some()
+                    || stats.get(field).and_then(JsonValue::as_u64).is_some(),
+                "{section}.{field} missing: {stats}"
+            );
+        }
+    }
+    let fidelity = tokyo.get("log_success_probability").unwrap();
+    assert_eq!(fidelity.get("count").unwrap().as_u64(), Some(2));
+    assert!(fidelity.get("mean").unwrap().as_f64().unwrap() < 0.0);
+
+    // The histograms and per-device counters are on /metrics.
+    let (_, _, metrics) = http(addr, "GET", "/metrics", None);
+    for family in [
+        "sabre_serve_route_swaps_bucket",
+        "sabre_serve_route_depth_overhead_bucket",
+        "sabre_serve_route_log_success_probability_bucket",
+    ] {
+        assert!(metrics.contains(family), "missing {family}:\n{metrics}");
+    }
+    assert!(metrics.contains("sabre_serve_device_routes_total{device=\"tokyo\"} 2"));
+    assert!(metrics.contains("sabre_serve_device_swaps_total{device=\"tokyo\"}"));
+
+    // Every request is traced; exactly the two /route calls carry the
+    // device id and quality annotations.
+    let (status, traces) = get_json(addr, "/debug/traces");
+    assert_eq!(status, 200);
+    let items = traces.get("traces").and_then(JsonValue::as_array).unwrap();
+    let routed: Vec<&JsonValue> = items
+        .iter()
+        .filter(|t| t.get("device").and_then(JsonValue::as_str) == Some("tokyo"))
+        .collect();
+    assert_eq!(routed.len(), 2, "both /route calls traced: {traces}");
+    for trace in routed {
+        assert!(trace.get("swaps").and_then(JsonValue::as_u64).is_some());
+        assert!(trace
+            .get("depth_overhead")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn debug_traces_limit_is_bounded_and_validated() {
+    let handle = server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    register(addr, "line", "linear:4");
+    let mut circuit = Circuit::new(4);
+    circuit.cx(Qubit(0), Qubit(3));
+    for seed in 0..3u64 {
+        let (status, _) = post_json(addr, "/route", &route_body("line", &circuit, seed));
+        assert_eq!(status, 200);
+    }
+
+    // limit=1 returns only the newest trace; count still reports the
+    // whole ring (every request is traced, including the registration).
+    let (status, one) = get_json(addr, "/debug/traces?limit=1");
+    assert_eq!(status, 200);
+    assert_eq!(
+        one.get("traces")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .len(),
+        1
+    );
+    let count = one.get("count").unwrap().as_u64().unwrap();
+    assert!(count >= 4, "3 routes + registration traced, got {count}");
+
+    // A limit beyond the ring is harmless: the full snapshot comes back.
+    let (status, all) = get_json(addr, "/debug/traces?limit=999");
+    assert_eq!(status, 200);
+    assert_eq!(
+        all.get("traces")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .len() as u64,
+        all.get("count").unwrap().as_u64().unwrap()
+    );
+
+    // Zero and non-numeric limits are client errors, not panics.
+    for bad in ["/debug/traces?limit=0", "/debug/traces?limit=abc"] {
+        let (status, _) = get_json(addr, bad);
+        assert_eq!(status, 400, "{bad} must be rejected");
+    }
+    handle.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `quality(route(c))` agrees with the router's own counters on any
+    /// seed: swap count, added gates, gate conservation, depth ordering —
+    /// and for a single-traversal search, swaps == total search steps
+    /// (every search step inserts exactly one SWAP).
+    #[test]
+    fn quality_is_consistent_with_routing_across_seeds(
+        seed in any::<u64>(),
+        n in 4u32..=16,
+        gates in 1usize..120,
+    ) {
+        let graph = devices::ibm_q20_tokyo().graph().clone();
+        let circuit = random::random_circuit(n, gates, 0.7, seed);
+        let config = SabreConfig {
+            num_restarts: 1,
+            num_traversals: 1,
+            // No initial-mapping probe: its trial routings would count
+            // into total_search_steps without inserting surviving swaps.
+            embedding_probe_budget: 0,
+            ..SabreConfig::fast()
+        };
+        let router = SabreRouter::new(graph.clone(), config).unwrap();
+        let result = router.route(&circuit).unwrap();
+        let quality = PlanQuality::of_result(&circuit, &result, None);
+
+        prop_assert_eq!(quality.num_swaps, result.best.num_swaps);
+        prop_assert_eq!(quality.num_swaps, result.total_search_steps());
+        prop_assert_eq!(quality.added_gates, result.added_gates());
+        prop_assert_eq!(
+            quality.output_two_qubit_gates,
+            quality.input_two_qubit_gates + 3 * quality.num_swaps
+        );
+        prop_assert!(quality.output_depth >= quality.input_depth);
+        prop_assert_eq!(
+            quality.depth_overhead,
+            quality.output_depth - quality.input_depth
+        );
+        // Same seed, same report — byte for byte.
+        let again = router.route(&circuit).unwrap();
+        prop_assert_eq!(
+            PlanQuality::of_result(&circuit, &again, None).to_json().to_compact(),
+            quality.to_json().to_compact()
+        );
+    }
+}
